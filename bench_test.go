@@ -1,0 +1,108 @@
+// Package pcaps_test holds the benchmark harness of deliverable (d): one
+// testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its artifact through the experiment runners
+// in fast mode and reports the artifact's key headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` doubles as a one-shot
+// reproduction sweep. Full-fidelity runs (all grids, paper trial counts)
+// are driven by `go run ./cmd/pcapsim -exp all`.
+package pcaps_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pcaps/internal/experiments"
+)
+
+// benchArtifact runs one artifact per benchmark iteration.
+func benchArtifact(b *testing.B, id string) *experiments.Report {
+	b.Helper()
+	var rep *experiments.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.Run(id, experiments.Options{Fast: true, Seed: 42})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return rep
+}
+
+// reportFirstPercent extracts the first "x.y%"-shaped number following a
+// label in the report body and publishes it as a benchmark metric.
+func reportFirstPercent(b *testing.B, rep *experiments.Report, label, metric string) {
+	idx := strings.Index(rep.Body, label)
+	if idx < 0 {
+		return
+	}
+	rest := rep.Body[idx+len(label):]
+	for _, field := range strings.Fields(rest) {
+		field = strings.TrimSuffix(field, "%")
+		if v, err := strconv.ParseFloat(field, 64); err == nil {
+			b.ReportMetric(v, metric)
+			return
+		}
+	}
+}
+
+func BenchmarkTable1TraceStats(b *testing.B) { benchArtifact(b, "table1") }
+func BenchmarkTable2Prototype(b *testing.B) {
+	rep := benchArtifact(b, "table2")
+	reportFirstPercent(b, rep, "PCAPS", "pcaps_co2_red_%")
+	reportFirstPercent(b, rep, "CAP", "cap_co2_red_%")
+}
+func BenchmarkTable3Simulator(b *testing.B) {
+	rep := benchArtifact(b, "table3")
+	reportFirstPercent(b, rep, "PCAPS", "pcaps_co2_red_%")
+	reportFirstPercent(b, rep, "Decima", "decima_co2_red_%")
+}
+
+func BenchmarkFig1Motivating(b *testing.B)      { benchArtifact(b, "fig1") }
+func BenchmarkFig5Snapshots(b *testing.B)       { benchArtifact(b, "fig5") }
+func BenchmarkFig6Occupancy(b *testing.B)       { benchArtifact(b, "fig6") }
+func BenchmarkFig7PCAPSSweepProto(b *testing.B) { benchArtifact(b, "fig7") }
+func BenchmarkFig8CAPSweepProto(b *testing.B)   { benchArtifact(b, "fig8") }
+func BenchmarkFig9PerJob(b *testing.B)          { benchArtifact(b, "fig9") }
+func BenchmarkFig10GridsProto(b *testing.B)     { benchArtifact(b, "fig10") }
+func BenchmarkFig11PCAPSSweepSim(b *testing.B)  { benchArtifact(b, "fig11") }
+func BenchmarkFig12CAPSweepSim(b *testing.B)    { benchArtifact(b, "fig12") }
+func BenchmarkFig13Frontier(b *testing.B)       { benchArtifact(b, "fig13") }
+func BenchmarkFig14GridsSim(b *testing.B)       { benchArtifact(b, "fig14") }
+func BenchmarkFig15Fidelity(b *testing.B)       { benchArtifact(b, "fig15") }
+func BenchmarkFig16JobsSim(b *testing.B)        { benchArtifact(b, "fig16") }
+func BenchmarkFig17JobsProto(b *testing.B)      { benchArtifact(b, "fig17") }
+func BenchmarkFig18ArrivalSim(b *testing.B)     { benchArtifact(b, "fig18") }
+func BenchmarkFig19ArrivalProto(b *testing.B)   { benchArtifact(b, "fig19") }
+func BenchmarkFig20Latency(b *testing.B)        { benchArtifact(b, "fig20") }
+
+// BenchmarkAllArtifactsOnce regenerates every artifact once per
+// iteration, the end-to-end cost of a full fast reproduction pass.
+func BenchmarkAllArtifactsOnce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range experiments.IDs() {
+			if _, err := experiments.Run(id, experiments.Options{Fast: true, Seed: 42}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Example output shapes are stable enough to assert in a smoke test; the
+// benchmark harness is also exercised by `go test` itself.
+func TestBenchHarnessSmoke(t *testing.T) {
+	rep, err := experiments.Run("table3", experiments.Options{Fast: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "PCAPS") {
+		t.Fatal("table3 missing PCAPS row")
+	}
+	fmt.Println(rep.Render())
+}
+
+// BenchmarkAblationSuite regenerates the DESIGN.md design-choice
+// ablations (threshold shape, importance signal, parallelism scaling,
+// forecast error, suspend-resume baseline).
+func BenchmarkAblationSuite(b *testing.B) { benchArtifact(b, "ablation") }

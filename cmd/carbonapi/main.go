@@ -1,0 +1,59 @@
+// Command carbonapi serves the carbon-intensity HTTP API of the paper's
+// prototype (§5.1), replaying synthetic (or CSV) traces for the six grids.
+//
+// Usage:
+//
+//	carbonapi -addr :8585
+//	carbonapi -addr :8585 -hours 2000 -seed 7
+//	carbonapi -addr :8585 -csv DE=de.csv   # replay a real trace
+//
+// Endpoints: /v1/grids, /v1/intensity, /v1/forecast, /v1/trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/carbonapi"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8585", "listen address")
+		hours = flag.Int("hours", carbon.PaperHours, "synthetic trace length in hours")
+		seed  = flag.Int64("seed", 42, "synthetic trace seed")
+		csvs  = flag.String("csv", "", "comma-separated GRID=FILE pairs of real traces to replay instead")
+	)
+	flag.Parse()
+
+	traces := carbon.SynthesizeAll(*hours, 60, *seed)
+	if *csvs != "" {
+		for _, pair := range strings.Split(*csvs, ",") {
+			name, file, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("carbonapi: bad -csv entry %q (want GRID=FILE)", pair)
+			}
+			f, err := os.Open(file)
+			if err != nil {
+				log.Fatalf("carbonapi: %v", err)
+			}
+			tr, err := carbon.ReadCSV(f, name, 60)
+			f.Close()
+			if err != nil {
+				log.Fatalf("carbonapi: %s: %v", file, err)
+			}
+			traces[name] = tr
+		}
+	}
+	for _, name := range carbon.SortedNames(traces) {
+		s := traces[name].Stats()
+		fmt.Printf("%-6s %6d samples  mean %5.0f  cv %.3f\n", name, s.Samples, s.Mean, s.CoeffVar)
+	}
+	fmt.Printf("serving carbon-intensity API on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, carbonapi.NewServer(traces)))
+}

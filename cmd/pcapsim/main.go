@@ -1,0 +1,71 @@
+// Command pcapsim regenerates the paper's tables and figures from the
+// simulator and prototype substrates.
+//
+// Usage:
+//
+//	pcapsim -exp table2            # one artifact
+//	pcapsim -exp all               # every artifact, paper order
+//	pcapsim -list                  # show artifact IDs
+//	pcapsim -exp fig13 -trials 5 -seed 7
+//	pcapsim -exp table3 -grids DE,CAISO -fast
+//
+// Each report prints the regenerated rows or series next to the paper's
+// published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pcaps/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, or 'all')")
+		list   = flag.Bool("list", false, "list artifact IDs and exit")
+		grids  = flag.String("grids", "", "comma-separated grid subset (default: all six)")
+		trials = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
+		jobs   = flag.Int("jobs", 0, "override batch size where applicable")
+		seed   = flag.Int64("seed", 42, "random seed")
+		fast   = flag.Bool("fast", false, "shrink the experiment matrix for a quick pass")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "pcapsim: -exp required (or -list); e.g. pcapsim -exp table3")
+		os.Exit(2)
+	}
+	opt := experiments.Options{
+		Trials: *trials,
+		Jobs:   *jobs,
+		Seed:   *seed,
+		Fast:   *fast,
+	}
+	if *grids != "" {
+		opt.Grids = strings.Split(*grids, ",")
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcapsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("[%s in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

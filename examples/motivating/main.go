@@ -1,0 +1,81 @@
+// motivating: the paper's Fig 1 walkthrough — one DAG, an 18-hour carbon
+// window, and three scheduling philosophies compared exactly: FIFO list
+// scheduling, the time-optimal schedule (T-OPT), and the carbon-optimal
+// schedule under a deadline (C-OPT). It shows why precedence structure
+// matters: deferring the wrong ("bottleneck") stage wrecks completion
+// time, while deferring side stages is nearly free.
+//
+//	go run ./examples/motivating
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcaps/internal/dag"
+	"pcaps/internal/optimal"
+)
+
+func main() {
+	// The DAG: a 1-hour source, four 2-hour side stages, a 3+3-hour
+	// bottleneck chain (green → purple), and a 2-hour sink.
+	b := dag.NewBuilder(0, "motivating")
+	src := b.Stage("src", 1, 1)
+	var sides []int
+	for i := 0; i < 4; i++ {
+		sides = append(sides, b.Stage(fmt.Sprintf("side%d", i), 1, 2))
+	}
+	green := b.Stage("green", 1, 3)
+	purple := b.Stage("purple", 1, 3)
+	sink := b.Stage("sink", 1, 2)
+	for _, s := range sides {
+		b.Edge(src, s).Edge(s, sink)
+	}
+	b.Edge(src, green).Edge(green, purple).Edge(purple, sink)
+	job := b.MustBuild()
+
+	// An 18-hour carbon window with an early peak.
+	carbon := []float64{
+		250, 380, 520, 650, 650, 600, 450, 350, 280,
+		230, 210, 200, 200, 210, 230, 260, 300, 340,
+	}
+	inst := optimal.Instance{Job: job, K: 3, Carbon: carbon, Deadline: 18}
+
+	fifo, err := optimal.ListSchedule(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topt, err := optimal.TOpt(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copt, err := optimal.COpt(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DAG: %d stages, %.0f h of work, %.0f h critical path, %d machines\n\n",
+		len(job.Stages), job.TotalWork(), job.CriticalPathLength(), inst.K)
+	show := func(name string, s *optimal.Schedule) {
+		if err := optimal.Validate(inst, s); err != nil {
+			log.Fatalf("%s: invalid schedule: %v", name, err)
+		}
+		fmt.Printf("%-6s finishes in %2d h, emits %6.0f g  |", name, s.Makespan(), s.CarbonCost(carbon))
+		for _, ids := range s.Slots {
+			if len(ids) == 0 {
+				fmt.Print("·")
+			} else {
+				fmt.Print(len(ids))
+			}
+		}
+		fmt.Println("|")
+	}
+	show("FIFO", fifo)
+	show("T-OPT", topt)
+	show("C-OPT", copt)
+
+	fmt.Printf("\nC-OPT saves %.1f%% carbon vs FIFO by idling through the peak, at %+.0f%% completion time.\n",
+		100*(fifo.CarbonCost(carbon)-copt.CarbonCost(carbon))/fifo.CarbonCost(carbon),
+		100*(float64(copt.Makespan())/float64(fifo.Makespan())-1))
+	fmt.Println("PCAPS navigates between these poles; run `go run ./cmd/pcapsim -exp fig1` for the full figure.")
+}

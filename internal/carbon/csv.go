@@ -1,0 +1,58 @@
+package carbon
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the trace as two columns, "hour,intensity", with a
+// header row. The format round-trips with ReadCSV and matches the shape of
+// hourly Electricity Maps exports.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "intensity_gco2eq_kwh"}); err != nil {
+		return err
+	}
+	for i, v := range t.Values {
+		rec := []string{strconv.Itoa(i), strconv.FormatFloat(v, 'f', -1, 64)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any CSV whose last column
+// is an hourly intensity; extra leading columns and a header row are
+// tolerated so real exports load unchanged).
+func ReadCSV(r io.Reader, grid string, interval float64) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var vals []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("carbon: csv row %d: %w", row, err)
+		}
+		row++
+		if len(rec) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			if row == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("carbon: csv row %d: %w", row, err)
+		}
+		vals = append(vals, v)
+	}
+	return New(grid, interval, vals)
+}

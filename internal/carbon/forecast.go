@@ -1,0 +1,98 @@
+package carbon
+
+import "math"
+
+// Forecaster produces the (L, U) carbon bounds the threshold designs
+// consume (§2.1). The paper follows prior work in assuming the bounds
+// are known over a lookahead window; production systems must estimate
+// them from history. Implementations must never read trace values after
+// fromSec unless they are explicitly oracular.
+type Forecaster interface {
+	// Bounds forecasts the minimum and maximum intensity over
+	// [fromSec, fromSec+horizonSec].
+	Bounds(t *Trace, fromSec, horizonSec float64) (lo, hi float64)
+}
+
+// Oracle is the paper's assumption: exact knowledge of the window's
+// extremes (§6.1 derives L and U from "forecasted carbon intensities
+// over a lookahead window of 48 hours" and treats them as accurate).
+type Oracle struct{}
+
+// Bounds implements Forecaster by reading the future directly.
+func (Oracle) Bounds(t *Trace, fromSec, horizonSec float64) (lo, hi float64) {
+	return t.Bounds(fromSec, horizonSec)
+}
+
+// Persistence forecasts the next window's extremes from the trailing
+// window — the standard day-ahead persistence baseline for grid signals,
+// which works because carbon intensity is strongly diurnal (Fig. 5). A
+// safety margin widens the interval to hedge against regime shifts.
+type Persistence struct {
+	// Lookback is the trailing window in seconds; zero uses the
+	// requested horizon (yesterday predicts today).
+	Lookback float64
+	// Margin widens the forecast interval by this relative fraction on
+	// each side (e.g. 0.05 lowers L and raises U by 5%).
+	Margin float64
+}
+
+// Bounds implements Forecaster using only history up to fromSec.
+func (p Persistence) Bounds(t *Trace, fromSec, horizonSec float64) (lo, hi float64) {
+	look := p.Lookback
+	if look <= 0 {
+		look = horizonSec
+	}
+	start := fromSec - look
+	if start < 0 {
+		start = 0
+	}
+	span := fromSec - start
+	if span <= 0 {
+		// No history yet: fall back to the current value.
+		v := t.At(fromSec)
+		lo, hi = v, v
+	} else {
+		lo, hi = t.Bounds(start, span)
+	}
+	// Include the present moment so the interval always contains c(t).
+	now := t.At(fromSec)
+	lo = math.Min(lo, now)
+	hi = math.Max(hi, now)
+	if p.Margin > 0 {
+		lo *= 1 - p.Margin
+		hi *= 1 + p.Margin
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// ForecastError quantifies a forecaster against the oracle over a whole
+// trace: the mean relative error of the L and U endpoints across all
+// window starts at interval granularity. Use it to validate that a
+// forecaster is "reasonably accurate", the premise under which
+// threshold designs stay near-optimal (§3, [13]).
+func ForecastError(t *Trace, f Forecaster, horizonSec float64) (errL, errU float64) {
+	var sumL, sumU float64
+	n := 0
+	for i := range t.Values {
+		from := float64(i) * t.Interval
+		if from+horizonSec > t.Duration() {
+			break
+		}
+		gotL, gotU := f.Bounds(t, from, horizonSec)
+		wantL, wantU := t.Bounds(from, horizonSec)
+		if wantL > 0 {
+			sumL += math.Abs(gotL-wantL) / wantL
+		}
+		if wantU > 0 {
+			sumU += math.Abs(gotU-wantU) / wantU
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sumL / float64(n), sumU / float64(n)
+}

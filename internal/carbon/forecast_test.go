@@ -1,0 +1,99 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOracleMatchesTraceBounds(t *testing.T) {
+	spec, _ := GridByName("DE")
+	tr := Synthesize(spec, 500, 60, 3)
+	var o Oracle
+	for _, from := range []float64{0, 600, 5000} {
+		gotL, gotU := o.Bounds(tr, from, 48*60)
+		wantL, wantU := tr.Bounds(from, 48*60)
+		if gotL != wantL || gotU != wantU {
+			t.Fatalf("oracle diverged at %v: %v/%v vs %v/%v", from, gotL, gotU, wantL, wantU)
+		}
+	}
+}
+
+func TestPersistenceUsesOnlyHistory(t *testing.T) {
+	// A trace that is flat 300 for two days and spikes to 900 afterwards:
+	// a history-only forecaster at the boundary cannot see the spike.
+	vals := make([]float64, 96)
+	for i := range vals {
+		if i < 48 {
+			vals[i] = 300
+		} else {
+			vals[i] = 900
+		}
+	}
+	tr := mustTrace(t, vals...)
+	p := Persistence{}
+	lo, hi := p.Bounds(tr, 47*60, 48*60)
+	if hi >= 900 {
+		t.Fatalf("persistence saw the future: hi = %v", hi)
+	}
+	if lo > 300 || hi < 300 {
+		t.Fatalf("persistence bounds [%v, %v] exclude the observed level", lo, hi)
+	}
+}
+
+func TestPersistenceIncludesPresent(t *testing.T) {
+	// The interval must always contain the current intensity, even when
+	// history was lower.
+	vals := append(make([]float64, 0, 50), 100, 100, 100, 100, 700)
+	tr := mustTrace(t, vals...)
+	p := Persistence{}
+	lo, hi := p.Bounds(tr, 4*60, 240)
+	if hi < 700 || lo > 100 {
+		t.Fatalf("bounds [%v, %v] must contain both history and present", lo, hi)
+	}
+}
+
+func TestPersistenceColdStart(t *testing.T) {
+	tr := mustTrace(t, 400, 500)
+	p := Persistence{}
+	lo, hi := p.Bounds(tr, 0, 120)
+	if lo != 400 || hi != 400 {
+		t.Fatalf("cold-start bounds = [%v, %v], want the current value", lo, hi)
+	}
+}
+
+func TestPersistenceMargin(t *testing.T) {
+	tr := mustTrace(t, 100, 200, 300, 400)
+	tight := Persistence{}
+	wide := Persistence{Margin: 0.1}
+	lt, ht := tight.Bounds(tr, 180, 60)
+	lw, hw := wide.Bounds(tr, 180, 60)
+	if !(lw < lt && hw > ht) {
+		t.Fatalf("margin did not widen: [%v,%v] vs [%v,%v]", lw, hw, lt, ht)
+	}
+}
+
+func TestPersistenceAccurateOnDiurnalGrids(t *testing.T) {
+	// On strongly diurnal synthetic grids, yesterday's extremes predict
+	// today's well: mean endpoint error under 20%.
+	for _, name := range []string{"DE", "CAISO"} {
+		spec, _ := GridByName(name)
+		tr := Synthesize(spec, 2000, 60, 11)
+		errL, errU := ForecastError(tr, Persistence{}, 48*60)
+		if errL > 0.25 || errU > 0.20 {
+			t.Fatalf("%s persistence error too high: L %v, U %v", name, errL, errU)
+		}
+		// And the oracle is exact.
+		oL, oU := ForecastError(tr, Oracle{}, 48*60)
+		if oL != 0 || oU != 0 {
+			t.Fatalf("oracle error nonzero: %v, %v", oL, oU)
+		}
+	}
+}
+
+func TestForecastErrorEmptyWindow(t *testing.T) {
+	tr := mustTrace(t, 100, 200)
+	if l, u := ForecastError(tr, Oracle{}, 1e9); l != 0 || u != 0 {
+		t.Fatalf("oversized horizon error = %v, %v", l, u)
+	}
+	_ = math.Pi // keep math import if assertions above churn
+}

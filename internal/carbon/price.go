@@ -1,0 +1,40 @@
+package carbon
+
+// This file supports the paper's carbon-pricing motivation (§1): internal
+// carbon prices put a dollar figure on each metric ton of operational
+// CO2, so the same threshold machinery that trades off grams can trade
+// off dollars. A Pricing converts accounted emissions into charges and a
+// trace of intensities into a trace of marginal prices.
+
+// Pricing converts emissions to money under an internal carbon price.
+type Pricing struct {
+	// USDPerTonne is the internal carbon price in dollars per metric
+	// ton of CO2 equivalent. Microsoft's internal fee and academic
+	// estimates put typical values between $5 and $100.
+	USDPerTonne float64
+}
+
+// Cost returns the charge in dollars for the given emissions in grams.
+func (p Pricing) Cost(grams float64) float64 {
+	return grams / 1e6 * p.USDPerTonne
+}
+
+// MarginalRate returns the cost in dollars of running one executor (at
+// 1 kW) for one hour at the given carbon intensity (gCO2eq/kWh).
+func (p Pricing) MarginalRate(intensity float64) float64 {
+	return p.Cost(intensity)
+}
+
+// PriceTrace maps a carbon-intensity trace into a marginal-price trace in
+// dollars per executor-hour. Because the mapping is a positive linear
+// scaling, every threshold decision in this library (Ψγ admission,
+// k-search quotas) is identical whether it consumes intensities or the
+// resulting prices — carbon-aware and carbon-price-aware scheduling
+// coincide, which is exactly the operational argument of §1.
+func (p Pricing) PriceTrace(t *Trace) *Trace {
+	vals := make([]float64, len(t.Values))
+	for i, v := range t.Values {
+		vals[i] = p.MarginalRate(v)
+	}
+	return &Trace{Grid: t.Grid + "-usd", Interval: t.Interval, Values: vals}
+}

@@ -1,0 +1,160 @@
+// Package carbonapi implements the carbon-intensity service of the
+// paper's prototype (§5.1, §6.3): an HTTP API that replays historical
+// traces, standing in for Electricity Maps / WattTime, plus the client the
+// schedulers' daemons poll. The server is stdlib net/http; responses are
+// JSON. Endpoints:
+//
+//	GET /v1/grids                         → {"grids": ["PJM", ...]}
+//	GET /v1/intensity?grid=DE&at=120      → current intensity at time 120 s
+//	GET /v1/forecast?grid=DE&at=0&horizon=2880 → {low, high} bounds
+//	GET /v1/trace?grid=DE&from=0&n=48     → a window of raw samples
+//
+// Times are experiment seconds (one trace interval = one grid-hour).
+package carbonapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"pcaps/internal/carbon"
+)
+
+// Server replays one or more traces over HTTP. The zero value is not
+// usable; construct with NewServer.
+type Server struct {
+	traces map[string]*carbon.Trace
+	mux    *http.ServeMux
+}
+
+// NewServer builds a server replaying the given traces, keyed by grid
+// name.
+func NewServer(traces map[string]*carbon.Trace) *Server {
+	s := &Server{traces: traces, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/grids", s.handleGrids)
+	s.mux.HandleFunc("/v1/intensity", s.handleIntensity)
+	s.mux.HandleFunc("/v1/forecast", s.handleForecast)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// IntensityResponse is the payload of /v1/intensity.
+type IntensityResponse struct {
+	Grid      string  `json:"grid"`
+	At        float64 `json:"at_sec"`
+	Intensity float64 `json:"intensity_gco2eq_kwh"`
+	Interval  float64 `json:"interval_sec"`
+}
+
+// ForecastResponse is the payload of /v1/forecast: the (L, U) bounds the
+// threshold designs consume.
+type ForecastResponse struct {
+	Grid    string  `json:"grid"`
+	From    float64 `json:"from_sec"`
+	Horizon float64 `json:"horizon_sec"`
+	Low     float64 `json:"low_gco2eq_kwh"`
+	High    float64 `json:"high_gco2eq_kwh"`
+}
+
+// TraceResponse is the payload of /v1/trace.
+type TraceResponse struct {
+	Grid     string    `json:"grid"`
+	Interval float64   `json:"interval_sec"`
+	From     int       `json:"from_index"`
+	Values   []float64 `json:"values"`
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) (*carbon.Trace, string, bool) {
+	grid := r.URL.Query().Get("grid")
+	if grid == "" {
+		http.Error(w, "missing grid parameter", http.StatusBadRequest)
+		return nil, "", false
+	}
+	t, ok := s.traces[grid]
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown grid %q", grid), http.StatusNotFound)
+		return nil, "", false
+	}
+	return t, grid, true
+}
+
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", name, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for an HTTP error; the connection is likely gone.
+		return
+	}
+}
+
+func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.traces))
+	for n := range s.traces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeJSON(w, map[string][]string{"grids": names})
+}
+
+func (s *Server) handleIntensity(w http.ResponseWriter, r *http.Request) {
+	t, grid, ok := s.trace(w, r)
+	if !ok {
+		return
+	}
+	at, err := floatParam(r, "at", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, IntensityResponse{Grid: grid, At: at, Intensity: t.At(at), Interval: t.Interval})
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	t, grid, ok := s.trace(w, r)
+	if !ok {
+		return
+	}
+	at, err1 := floatParam(r, "at", 0)
+	horizon, err2 := floatParam(r, "horizon", 48*t.Interval)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad at/horizon parameter", http.StatusBadRequest)
+		return
+	}
+	lo, hi := t.Bounds(at, horizon)
+	writeJSON(w, ForecastResponse{Grid: grid, From: at, Horizon: horizon, Low: lo, High: hi})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t, grid, ok := s.trace(w, r)
+	if !ok {
+		return
+	}
+	from, err1 := floatParam(r, "from", 0)
+	n, err2 := floatParam(r, "n", float64(len(t.Values)))
+	if err1 != nil || err2 != nil || n < 1 {
+		http.Error(w, "bad from/n parameter", http.StatusBadRequest)
+		return
+	}
+	i0 := t.Index(from)
+	i1 := i0 + int(n)
+	if i1 > len(t.Values) {
+		i1 = len(t.Values)
+	}
+	writeJSON(w, TraceResponse{Grid: grid, Interval: t.Interval, From: i0, Values: t.Values[i0:i1]})
+}

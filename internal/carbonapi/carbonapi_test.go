@@ -1,0 +1,132 @@
+package carbonapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pcaps/internal/carbon"
+)
+
+func testServer(t *testing.T) (*httptest.Server, map[string]*carbon.Trace) {
+	t.Helper()
+	tr, err := carbon.New("DE", 60, []float64{400, 300, 200, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := carbon.New("ZA", 60, []float64{700, 710})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := map[string]*carbon.Trace{"DE": tr, "ZA": tr2}
+	srv := httptest.NewServer(NewServer(traces))
+	t.Cleanup(srv.Close)
+	return srv, traces
+}
+
+func TestGrids(t *testing.T) {
+	srv, _ := testServer(t)
+	c := NewClient(srv.URL)
+	grids, err := c.Grids(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 2 || grids[0] != "DE" || grids[1] != "ZA" {
+		t.Fatalf("Grids = %v", grids)
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	srv, _ := testServer(t)
+	c := NewClient(srv.URL)
+	tests := []struct {
+		at   float64
+		want float64
+	}{{0, 400}, {59, 400}, {60, 300}, {180, 500}, {1e6, 500}}
+	for _, tt := range tests {
+		got, err := c.Intensity(context.Background(), "DE", tt.at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Fatalf("Intensity(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestForecast(t *testing.T) {
+	srv, _ := testServer(t)
+	c := NewClient(srv.URL)
+	lo, hi, err := c.Forecast(context.Background(), "DE", 0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 200 || hi != 400 {
+		t.Fatalf("Forecast = %v, %v", lo, hi)
+	}
+}
+
+func TestFetchTraceRoundTrip(t *testing.T) {
+	srv, traces := testServer(t)
+	c := NewClient(srv.URL)
+	got, err := c.FetchTrace(context.Background(), "DE", 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Grid != "DE" || got.Interval != 60 {
+		t.Fatalf("trace meta = %+v", got)
+	}
+	want := traces["DE"].Values[1:3]
+	if len(got.Values) != 2 || got.Values[0] != want[0] || got.Values[1] != want[1] {
+		t.Fatalf("values = %v, want %v", got.Values, want)
+	}
+}
+
+func TestFetchTraceClampsWindow(t *testing.T) {
+	srv, _ := testServer(t)
+	c := NewClient(srv.URL)
+	got, err := c.FetchTrace(context.Background(), "ZA", 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Values) != 2 {
+		t.Fatalf("clamped window len = %d", len(got.Values))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv, _ := testServer(t)
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+	if _, err := c.Intensity(ctx, "XX", 0); err == nil {
+		t.Fatal("unknown grid accepted")
+	}
+	if _, err := c.Intensity(ctx, "", 0); err == nil {
+		t.Fatal("missing grid accepted")
+	}
+	// Raw HTTP checks for malformed parameters.
+	resp, err := http.Get(srv.URL + "/v1/intensity?grid=DE&at=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad at param: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/trace?grid=DE&n=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n param: status %d", resp.StatusCode)
+	}
+}
+
+func TestClientBadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens here
+	if _, err := c.Grids(context.Background()); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

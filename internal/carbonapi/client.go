@@ -1,0 +1,91 @@
+package carbonapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"pcaps/internal/carbon"
+)
+
+// Client talks to a carbon-intensity API server. It mirrors the Python
+// daemon of the paper's prototype (§5.1), which polls an external carbon
+// API and feeds the scheduling components.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8585".
+	BaseURL string
+	// HTTPClient defaults to a client with a 5-second timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 5 * time.Second}}
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	u := fmt.Sprintf("%s%s?%s", c.BaseURL, path, q.Encode())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("carbonapi: %s: %s: %s", path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Grids lists the grid names the server replays.
+func (c *Client) Grids(ctx context.Context) ([]string, error) {
+	var out map[string][]string
+	if err := c.get(ctx, "/v1/grids", url.Values{}, &out); err != nil {
+		return nil, err
+	}
+	return out["grids"], nil
+}
+
+// Intensity returns the carbon intensity of a grid at experiment time at.
+func (c *Client) Intensity(ctx context.Context, grid string, at float64) (float64, error) {
+	q := url.Values{"grid": {grid}, "at": {fmt.Sprint(at)}}
+	var out IntensityResponse
+	if err := c.get(ctx, "/v1/intensity", q, &out); err != nil {
+		return 0, err
+	}
+	return out.Intensity, nil
+}
+
+// Forecast returns the (L, U) bounds over [at, at+horizon].
+func (c *Client) Forecast(ctx context.Context, grid string, at, horizon float64) (lo, hi float64, err error) {
+	q := url.Values{"grid": {grid}, "at": {fmt.Sprint(at)}, "horizon": {fmt.Sprint(horizon)}}
+	var out ForecastResponse
+	if err := c.get(ctx, "/v1/forecast", q, &out); err != nil {
+		return 0, 0, err
+	}
+	return out.Low, out.High, nil
+}
+
+// FetchTrace downloads a window of n samples starting at experiment time
+// from and materializes it as a local carbon.Trace, which the simulator
+// and prototype consume directly.
+func (c *Client) FetchTrace(ctx context.Context, grid string, from float64, n int) (*carbon.Trace, error) {
+	q := url.Values{"grid": {grid}, "from": {fmt.Sprint(from)}, "n": {fmt.Sprint(n)}}
+	var out TraceResponse
+	if err := c.get(ctx, "/v1/trace", q, &out); err != nil {
+		return nil, err
+	}
+	return carbon.New(out.Grid, out.Interval, out.Values)
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pcaps/internal/carbonapi"
+	"pcaps/internal/core"
+)
+
+// QuotaDaemon is the prototype's CAP daemon (§5.1): it polls a
+// carbon-intensity HTTP API, computes the k-search quota for the current
+// intensity and forecast bounds, and writes the corresponding executor
+// limit into the namespace ResourceQuota. It runs concurrently with the
+// cluster; no scheduler changes are required — that is CAP's selling
+// point.
+type QuotaDaemon struct {
+	// Client and Grid select the intensity feed.
+	Client *carbonapi.Client
+	Grid   string
+	// K and B parameterize the CAP thresholds.
+	K, B int
+	// ForecastHorizon is the lookahead for (L, U) in experiment seconds
+	// (48 grid-hours by default).
+	ForecastHorizon float64
+	// Quota is the namespace quota object the daemon adjusts.
+	Quota *ResourceQuota
+	// Now maps wall time to experiment time; tests and trace replays
+	// inject their own clock.
+	Now func() float64
+	// Poll is the wall-clock polling period (the paper reports new
+	// intensities once per real-time minute). Defaults to one second for
+	// in-process use.
+	Poll time.Duration
+
+	// lastQuota caches the most recent decision for observability.
+	lastQuota int
+}
+
+// Step performs one poll-and-update cycle and returns the executor limit
+// it installed.
+func (d *QuotaDaemon) Step(ctx context.Context) (int, error) {
+	if d.Client == nil || d.Quota == nil || d.Now == nil {
+		return 0, fmt.Errorf("cluster: daemon missing client, quota, or clock")
+	}
+	at := d.Now()
+	horizon := d.ForecastHorizon
+	if horizon <= 0 {
+		horizon = 48 * 60
+	}
+	intensity, err := d.Client.Intensity(ctx, d.Grid, at)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: intensity poll: %w", err)
+	}
+	lo, hi, err := d.Client.Forecast(ctx, d.Grid, at, horizon)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: forecast poll: %w", err)
+	}
+	if lo <= 0 {
+		lo = 1e-3
+	}
+	if hi < lo {
+		hi = lo
+	}
+	b := d.B
+	if b < 1 {
+		b = 1
+	}
+	if b > d.K {
+		b = d.K
+	}
+	cap, err := core.NewCAP(d.K, b, lo, hi)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: thresholds: %w", err)
+	}
+	quota := cap.Quota(intensity)
+	d.Quota.SetMaxExecutors(quota)
+	d.lastQuota = quota
+	return quota, nil
+}
+
+// LastQuota returns the most recently installed executor limit.
+func (d *QuotaDaemon) LastQuota() int { return d.lastQuota }
+
+// Run polls until the context is cancelled. Transient API errors are
+// retried on the next tick (the quota keeps its previous value, the safe
+// behaviour for a non-preemptive limit).
+func (d *QuotaDaemon) Run(ctx context.Context) error {
+	poll := d.Poll
+	if poll <= 0 {
+		poll = time.Second
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		if _, err := d.Step(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+// This file implements the analytical quantities of §3 and Appendix B:
+// the carbon-savings decomposition of Theorems 4.4 and 4.6 and the
+// deferral fraction D(γ,c) that parameterizes PCAPS's carbon stretch
+// factor. The decompositions operate on per-carbon-interval executor
+// usage timelines, matching the discretized time model of Appendix B.1.2.
+
+// SavingsDecomposition is the per-job (or per-experiment) decomposition of
+// carbon savings into the weighted average intensities of Theorem 4.4:
+//
+//	savings = W · (s₋ − s₊ − c_tail)
+//
+// where W is the excess work the carbon-aware schedule completes after the
+// agnostic schedule has finished, s₋ the average intensity of deferred
+// work, s₊ the average intensity of opportunistically pulled-forward work,
+// and c_tail the average intensity of the make-up work after time T.
+type SavingsDecomposition struct {
+	// W is the excess work in executor-intervals: Σ max(E^AG−E^CA, 0)
+	// over the agnostic schedule's lifetime [0, T].
+	W float64
+	// SMinus is s₋: avoided-emission weighted average intensity.
+	SMinus float64
+	// SPlus is s₊: extra-emission weighted average intensity from
+	// intervals where the carbon-aware schedule used more machines.
+	SPlus float64
+	// CTail is c_{(T,T')}: weighted average intensity of the work the
+	// carbon-aware schedule performs after the agnostic one finished.
+	CTail float64
+	// AgnosticEmissions and AwareEmissions are the raw totals
+	// Σ E_t·c_t for each schedule (executor-interval·gCO2eq/kWh units).
+	AgnosticEmissions, AwareEmissions float64
+	// Savings is AgnosticEmissions − AwareEmissions, which equals
+	// W·(SMinus − SPlus − CTail) by Theorem 4.4 (verified in tests).
+	Savings float64
+}
+
+// DecomposeSavings computes the Theorem 4.4 decomposition from two usage
+// timelines: agnostic[i] and aware[i] are the (possibly fractional) number
+// of busy executors during carbon interval i, and intensity[i] is c_i.
+// Timelines may have different lengths; missing entries are zero usage.
+// Theorem 4.6 (CAP) is the special case where aware never exceeds
+// agnostic before T, making SPlus zero.
+func DecomposeSavings(agnostic, aware, intensity []float64) SavingsDecomposition {
+	var d SavingsDecomposition
+	at := func(xs []float64, i int) float64 {
+		if i < len(xs) {
+			return xs[i]
+		}
+		return 0
+	}
+	ci := func(i int) float64 {
+		if len(intensity) == 0 {
+			return 0
+		}
+		if i < len(intensity) {
+			return intensity[i]
+		}
+		return intensity[len(intensity)-1]
+	}
+	// T is the last interval in which the agnostic schedule works.
+	t := -1
+	for i := range agnostic {
+		if agnostic[i] > 0 {
+			t = i
+		}
+	}
+	n := len(agnostic)
+	if len(aware) > n {
+		n = len(aware)
+	}
+	var savedNum, extraNum, tailNum float64
+	for i := 0; i < n; i++ {
+		ag, ca, c := at(agnostic, i), at(aware, i), ci(i)
+		d.AgnosticEmissions += ag * c
+		d.AwareEmissions += ca * c
+		if i <= t {
+			if ag >= ca {
+				d.W += ag - ca
+				savedNum += (ag - ca) * c
+			} else {
+				extraNum += (ca - ag) * c
+			}
+		} else {
+			tailNum += ca * c
+		}
+	}
+	if d.W > 0 {
+		d.SMinus = savedNum / d.W
+		d.SPlus = extraNum / d.W
+		d.CTail = tailNum / d.W
+	}
+	d.Savings = d.AgnosticEmissions - d.AwareEmissions
+	return d
+}
+
+// DeferralFraction estimates D(γ,c) (Theorem 4.3): the fraction of the
+// job's total runtime that was deferred by PCAPS's filter, measured as
+// deferred work over OPT₁ = total work. Clamped to [0, 1] as in the paper
+// (D ≤ 1 for any γ; D(0,c) = 0 because a γ=0 filter admits everything).
+func DeferralFraction(deferredWork, totalWork float64) float64 {
+	if totalWork <= 0 || deferredWork <= 0 {
+		return 0
+	}
+	d := deferredWork / totalWork
+	if d > 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,75 @@
+package core
+
+// This file implements the steady-state average-savings estimators of
+// Corollaries B.1 and B.2: in a regime where the queue always holds
+// outstanding tasks, the average carbon savings per discrete time step
+// reduce to utilization differences weighted by the current intensity.
+
+// AvgSavingsPCAPS is Corollary B.1: with baseline average machine
+// utilization rhoPB ∈ [0, 1] and PCAPS utilization rhoPCAPS(c) at the
+// current intensity c, the expected savings this step are
+// (ρ_PB·K − ρ_PCAPS(c)·K)·c.
+func AvgSavingsPCAPS(k int, rhoPB, rhoPCAPS, c float64) float64 {
+	return (clamp01(rhoPB) - clamp01(rhoPCAPS)) * float64(k) * c
+}
+
+// AvgSavingsCAP is Corollary B.2: with baseline utilization rhoAG over K
+// machines and CAP utilization rhoCAP over the current quota r(t), the
+// savings this step are at least (ρ_AG·K − ρ_CAP·r)·Φ_{r+B} — we return
+// the exact instant form (ρ_AG·K − ρ_CAP·r)·c alongside the threshold
+// lower bound.
+func AvgSavingsCAP(k, quota int, rhoAG, rhoCAP, c, phi float64) (exact, lowerBound float64) {
+	diff := clamp01(rhoAG)*float64(k) - clamp01(rhoCAP)*float64(quota)
+	return diff * c, diff * phi
+}
+
+// UtilizationFromUsage converts a busy executor-seconds timeline (one
+// entry per carbon interval of the given length) into average cluster
+// utilization over K machines — the ρ of the corollaries.
+func UtilizationFromUsage(usage []float64, interval float64, k int) float64 {
+	if len(usage) == 0 || interval <= 0 || k <= 0 {
+		return 0
+	}
+	var busy float64
+	for _, u := range usage {
+		busy += u
+	}
+	return busy / (float64(len(usage)) * interval * float64(k))
+}
+
+// ConditionalUtilization returns the average utilization restricted to
+// intervals whose intensity falls in [lo, hi) — the ρ_PCAPS(c) of
+// Corollary B.1, estimated from a finished run.
+func ConditionalUtilization(usage, intensity []float64, interval float64, k int, lo, hi float64) float64 {
+	if interval <= 0 || k <= 0 {
+		return 0
+	}
+	var busy float64
+	n := 0
+	for i, u := range usage {
+		c := 0.0
+		if i < len(intensity) {
+			c = intensity[i]
+		} else if len(intensity) > 0 {
+			c = intensity[len(intensity)-1]
+		}
+		if c >= lo && c < hi {
+			busy += u
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return busy / (float64(n) * interval * float64(k))
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,123 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the job as a Graphviz digraph: one node per stage
+// labeled "name (tasks×duration)", one edge per precedence constraint.
+// Critical-path stages are highlighted, mirroring the bottleneck framing
+// of the paper's figures.
+func (j *Job) WriteDOT(w io.Writer) error {
+	cp := j.CriticalPathDown()
+	maxCP := 0.0
+	for _, v := range cp {
+		if v > maxCP {
+			maxCP = v
+		}
+	}
+	// The critical chain: walk from the max-cp root, always following
+	// the child with the largest remaining critical path.
+	onChain := make([]bool, len(j.Stages))
+	cur := -1
+	for _, r := range j.Roots() {
+		if cur < 0 || cp[r] > cp[cur] {
+			cur = r
+		}
+	}
+	for cur >= 0 {
+		onChain[cur] = true
+		next := -1
+		for _, c := range j.Stages[cur].Children {
+			if next < 0 || cp[c] > cp[next] {
+				next = c
+			}
+		}
+		cur = next
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", j.Name)
+	for _, s := range j.Stages {
+		label := s.Name
+		if label == "" {
+			label = fmt.Sprintf("s%d", s.ID)
+		}
+		attrs := ""
+		if onChain[s.ID] {
+			attrs = ", style=filled, fillcolor=lightcoral"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%d×%.1fs\"%s];\n", s.ID, label, s.NumTasks, s.TaskDuration, attrs)
+	}
+	for _, s := range j.Stages {
+		for _, c := range s.Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", s.ID, c)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jobJSON is the serialized form of a Job. Only parent edges are stored;
+// children are reconstructed on load.
+type jobJSON struct {
+	ID      int         `json:"id"`
+	Name    string      `json:"name"`
+	Arrival float64     `json:"arrival_sec"`
+	Stages  []stageJSON `json:"stages"`
+}
+
+type stageJSON struct {
+	Name         string  `json:"name,omitempty"`
+	NumTasks     int     `json:"num_tasks"`
+	TaskDuration float64 `json:"task_duration_sec"`
+	Parents      []int   `json:"parents,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler for Job.
+func (j *Job) MarshalJSON() ([]byte, error) {
+	out := jobJSON{ID: j.ID, Name: j.Name, Arrival: j.Arrival}
+	for _, s := range j.Stages {
+		parents := append([]int(nil), s.Parents...)
+		sort.Ints(parents)
+		out.Stages = append(out.Stages, stageJSON{
+			Name: s.Name, NumTasks: s.NumTasks, TaskDuration: s.TaskDuration, Parents: parents,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Job, validating the
+// decoded graph.
+func (j *Job) UnmarshalJSON(data []byte) error {
+	var in jobJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	decoded := Job{ID: in.ID, Name: in.Name, Arrival: in.Arrival}
+	for i, s := range in.Stages {
+		decoded.Stages = append(decoded.Stages, &Stage{
+			ID: i, Name: s.Name, NumTasks: s.NumTasks, TaskDuration: s.TaskDuration,
+			Parents: append([]int(nil), s.Parents...),
+		})
+	}
+	// Rebuild child edges from parent lists.
+	for _, s := range decoded.Stages {
+		for _, p := range s.Parents {
+			if p < 0 || p >= len(decoded.Stages) {
+				return fmt.Errorf("%w: stage %d parent %d", ErrBadEdge, s.ID, p)
+			}
+			decoded.Stages[p].Children = append(decoded.Stages[p].Children, s.ID)
+		}
+	}
+	if err := decoded.Validate(); err != nil {
+		return err
+	}
+	*j = decoded
+	return nil
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pcaps/internal/dag"
+	"pcaps/internal/metrics"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
+	"pcaps/internal/workload"
+)
+
+func init() {
+	register("fig16", fig16)
+	register("fig17", fig17)
+	register("fig18", fig18)
+	register("fig19", fig19)
+	register("fig20", fig20)
+}
+
+// jobCountSettings are the Appendix A.2.1 batch sizes.
+var jobCountSettings = []float64{12, 25, 50, 100, 200}
+
+// arrivalSettings are the Appendix A.2.2 mean interarrival times (s).
+var arrivalSettings = []float64{7.5, 15, 30, 60, 120}
+
+// runAxis executes the sweep: for each setting, trials of Decima, CAP,
+// and PCAPS against the environment's baseline.
+func runAxis(opt Options, id, title, label string, proto bool, mix workload.Mix,
+	settings []float64, build func(v float64, seed int64) (njobs int, interarrival float64)) (*Report, error) {
+	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	if opt.Fast {
+		trials = 1
+		if len(settings) > 3 {
+			settings = settings[:3]
+		}
+	}
+	type agg struct{ carbon, ect, jct []float64 }
+	names := []string{"Decima", "CAP", "PCAPS"}
+	rows := map[string]map[float64]*agg{}
+	for _, nm := range names {
+		rows[nm] = map[float64]*agg{}
+		for _, s := range settings {
+			rows[nm][s] = &agg{}
+		}
+	}
+	for _, setting := range settings {
+		for trial := 0; trial < trials; trial++ {
+			seed := e.opt.Seed + int64(trial)*104729 + int64(setting*8)
+			njobs, inter := build(setting, seed)
+			jobs := batch(njobs, inter, mix, seed)
+			window := 60 + njobs*int(inter+29)/30/1 // rough sizing; Slice clamps
+			tr := e.trialTrace("DE", window)
+			cfg := simConfig(tr, seed)
+			baseSched := sim.Scheduler(&sched.FIFO{})
+			capInner := func() sim.Scheduler { return &sched.FIFO{} }
+			if proto {
+				cfg = protoConfig(tr, seed)
+				baseSched = sched.NewKubeDefault()
+				capInner = func() sim.Scheduler { return sched.NewKubeDefault() }
+			}
+			base := mustRun(cfg, jobs, baseSched)
+			record := func(nm string, r *sim.Result) {
+				a := rows[nm][setting]
+				a.carbon = append(a.carbon, -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
+				a.ect = append(a.ect, r.ECT/base.ECT)
+				a.jct = append(a.jct, r.AvgJCT/base.AvgJCT)
+			}
+			record("Decima", mustRun(cfg, jobs, sched.NewDecima(seed)))
+			record("CAP", mustRun(cfg, jobs, sched.NewCAP(capInner(), 20)))
+			record("PCAPS", mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)))
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s %14s %12s %12s\n", label, "policy", "carbon red.(%)", "rel. ECT", "rel. JCT")
+	for _, setting := range settings {
+		for _, nm := range names {
+			a := rows[nm][setting]
+			fmt.Fprintf(&b, "%-8.1f %-8s %14.1f %12.3f %12.3f\n", setting, nm,
+				metrics.Summarize(a.carbon).Mean, metrics.Summarize(a.ect).Mean, metrics.Summarize(a.jct).Mean)
+		}
+	}
+	return &Report{ID: id, Title: title, Body: b.String()}, nil
+}
+
+// fig16 varies the total number of jobs in the simulator (A.2.1).
+func fig16(opt Options) (*Report, error) {
+	r, err := runAxis(opt, "fig16", "job-count sweep, simulator (Fig 16 / A.2.1)", "jobs",
+		false, workload.MixTPCH, jobCountSettings,
+		func(v float64, seed int64) (int, float64) { return int(v), 30 })
+	if err != nil {
+		return nil, err
+	}
+	r.Body += "paper: orderings stay constant; small batches are noisy; CAP-FIFO's JCT grows with batch size\n"
+	return r, nil
+}
+
+// fig17 varies the total number of jobs in the prototype (A.2.1).
+func fig17(opt Options) (*Report, error) {
+	r, err := runAxis(opt, "fig17", "job-count sweep, prototype (Fig 17 / A.2.1)", "jobs",
+		true, workload.MixBoth, []float64{25, 50, 100},
+		func(v float64, seed int64) (int, float64) { return int(v), 30 })
+	if err != nil {
+		return nil, err
+	}
+	r.Body += "paper: mirrors the simulator, but CAP's JCT does not inflate with batch size (capped default blocks less)\n"
+	return r, nil
+}
+
+// fig18 varies the Poisson interarrival time in the simulator (A.2.2).
+func fig18(opt Options) (*Report, error) {
+	r, err := runAxis(opt, "fig18", "interarrival sweep, simulator (Fig 18 / A.2.2)", "1/λ(s)",
+		false, workload.MixTPCH, arrivalSettings,
+		func(v float64, seed int64) (int, float64) { return 50, v })
+	if err != nil {
+		return nil, err
+	}
+	r.Body += "paper: under heavy load (small 1/λ) PCAPS and Decima gain more vs FIFO\n"
+	return r, nil
+}
+
+// fig19 varies the Poisson interarrival time in the prototype (A.2.2).
+func fig19(opt Options) (*Report, error) {
+	r, err := runAxis(opt, "fig19", "interarrival sweep, prototype (Fig 19 / A.2.2)", "1/λ(s)",
+		true, workload.MixBoth, arrivalSettings,
+		func(v float64, seed int64) (int, float64) { return 50, v })
+	if err != nil {
+		return nil, err
+	}
+	r.Body += "paper: mirrors the simulator; PCAPS and Decima improve at heavy load\n"
+	return r, nil
+}
+
+// fig20 measures scheduler-invocation latency as a function of the
+// number of outstanding jobs (A.2.3): FIFO and CAP-FIFO stay in the
+// microsecond range; Decima and PCAPS grow with queue length; PCAPS adds
+// a small constant over Decima.
+func fig20(opt Options) (*Report, error) {
+	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	tr := e.traces["DE"]
+	queueSizes := []int{1, 5, 10, 25, 50, 75, 100}
+	if opt.Fast {
+		queueSizes = []int{1, 10, 50}
+	}
+	reps := 200
+	if opt.Fast {
+		reps = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s   (µs per invocation)\n", "jobs", "FIFO", "CAP-FIFO", "Decima", "PCAPS")
+	for _, qn := range queueSizes {
+		seed := e.opt.Seed
+		jobs := batch(qn, 0.001, workload.MixTPCH, seed) // all queued at once
+		lat := measurePickLatency(simConfig(tr, seed), jobs, reps, map[string]func() sim.Scheduler{
+			"FIFO":     func() sim.Scheduler { return &sched.FIFO{} },
+			"CAP-FIFO": func() sim.Scheduler { return sched.NewCAP(&sched.FIFO{}, 20) },
+			"Decima":   func() sim.Scheduler { return sched.NewDecima(seed) },
+			"PCAPS":    func() sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
+		})
+		fmt.Fprintf(&b, "%-8d %12.2f %12.2f %12.2f %12.2f\n", qn,
+			lat["FIFO"], lat["CAP-FIFO"], lat["Decima"], lat["PCAPS"])
+	}
+	b.WriteString("paper: decision-rule policies stay <5 ms; Decima/PCAPS grow with queue length; PCAPS adds a constant few ms over Decima (sub-20 ms overall)\n")
+	return &Report{ID: "fig20", Title: "scheduler invocation latency vs queue length (Fig 20 / A.2.3)", Body: b.String()}, nil
+}
+
+// latencyProbe captures a live cluster snapshot mid-run and times Pick
+// calls of each candidate scheduler against it.
+type latencyProbe struct {
+	reps    int
+	targets map[string]func() sim.Scheduler
+	out     map[string]float64
+	done    bool
+	inner   sched.FIFO
+}
+
+func (p *latencyProbe) Name() string { return "latency-probe" }
+
+func (p *latencyProbe) Pick(c *sim.Cluster) sim.Decision {
+	if !p.done && len(c.Runnable()) > 0 {
+		p.done = true
+		for name, mk := range p.targets {
+			s := mk()
+			start := time.Now()
+			for i := 0; i < p.reps; i++ {
+				s.Pick(c)
+			}
+			p.out[name] = float64(time.Since(start).Microseconds()) / float64(p.reps)
+		}
+	}
+	return p.inner.Pick(c)
+}
+
+func measurePickLatency(cfg sim.Config, jobs []*dag.Job, reps int, targets map[string]func() sim.Scheduler) map[string]float64 {
+	probe := &latencyProbe{reps: reps, targets: targets, out: map[string]float64{}}
+	mustRun(cfg, jobs, probe)
+	return probe.out
+}

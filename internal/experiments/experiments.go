@@ -1,0 +1,198 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§6 and Appendix A). Each runner regenerates the
+// artifact's rows or series from the simulator/prototype substrates and
+// renders them next to the paper's published values, so EXPERIMENTS.md
+// can record paper-vs-measured for every artifact.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/cluster"
+	"pcaps/internal/dag"
+	"pcaps/internal/sim"
+	"pcaps/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Grids restricts the carbon traces used (default: all six).
+	Grids []string
+	// Trials is the number of randomized trials per configuration
+	// (paper defaults differ per figure; zero selects each
+	// experiment's default).
+	Trials int
+	// Jobs overrides the batch size where a single size is used.
+	Jobs int
+	// Seed drives every stochastic choice.
+	Seed int64
+	// Hours is the synthetic trace length (default: three paper years).
+	Hours int
+	// Fast shrinks the experiment matrix for tests and smoke runs: one
+	// grid, one batch size, minimal trials.
+	Fast bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Grids) == 0 {
+		if o.Fast {
+			o.Grids = []string{"DE"}
+		} else {
+			o.Grids = []string{"PJM", "CAISO", "ON", "DE", "NSW", "ZA"}
+		}
+	}
+	if o.Hours <= 0 {
+		if o.Fast {
+			o.Hours = 4000
+		} else {
+			o.Hours = carbon.PaperHours
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Report is a rendered experiment artifact.
+type Report struct {
+	// ID is the artifact identifier ("table2", "fig13", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Body is the rendered rows/series.
+	Body string
+}
+
+// Render returns the report as printable text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	b.WriteString(r.Body)
+	if !strings.HasSuffix(r.Body, "\n") {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Runner produces one artifact.
+type Runner func(Options) (*Report, error)
+
+// registry maps artifact IDs to runners, populated by init() in each file.
+var registry = map[string]Runner{}
+
+var order = []string{
+	"table1", "table2", "table3",
+	"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+	"fig18", "fig19", "fig20",
+}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs lists the available artifact IDs in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, id := range order {
+		if _, ok := registry[id]; ok {
+			out = append(out, id)
+		}
+	}
+	var extra []string
+	for id := range registry {
+		found := false
+		for _, o := range order {
+			if o == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Run executes one artifact's runner.
+func Run(id string, opt Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown artifact %q (have %v)", id, IDs())
+	}
+	return r(opt)
+}
+
+// env bundles the shared inputs of one experiment.
+type env struct {
+	opt    Options
+	traces map[string]*carbon.Trace
+	rng    *rand.Rand
+}
+
+func newEnv(opt Options) *env {
+	opt = opt.withDefaults()
+	e := &env{opt: opt, rng: rand.New(rand.NewSource(opt.Seed)), traces: map[string]*carbon.Trace{}}
+	for i, spec := range carbon.Grids() {
+		for _, want := range opt.Grids {
+			if spec.Name == want {
+				e.traces[spec.Name] = carbon.Synthesize(spec, opt.Hours, 60, opt.Seed+int64(i)*1000003)
+			}
+		}
+	}
+	return e
+}
+
+// trialTrace returns the trace window for one randomized trial: a
+// uniformly random start offset into the grid's three-year history, as
+// the prototype experiments do (§6.1).
+func (e *env) trialTrace(grid string, windowHours int) *carbon.Trace {
+	tr := e.traces[grid]
+	maxStart := len(tr.Values) - windowHours
+	if maxStart < 1 {
+		return tr
+	}
+	off := float64(e.rng.Intn(maxStart)) * tr.Interval
+	return tr.Slice(off, float64(windowHours)*tr.Interval)
+}
+
+// simConfig is the Spark-standalone simulator environment (§5.2): all
+// executors shared, applications retain executors per Spark's dynamic
+// allocation semantics.
+func simConfig(tr *carbon.Trace, seed int64) sim.Config {
+	return sim.Config{
+		NumExecutors:  100,
+		Trace:         tr,
+		MoveDelay:     1,
+		HoldExecutors: true,
+		IdleTimeout:   60,
+		Seed:          seed,
+	}
+}
+
+// protoConfig is the Kubernetes prototype environment (§6.3).
+func protoConfig(tr *carbon.Trace, seed int64) sim.Config {
+	cfg := cluster.PaperConfig()
+	cfg.Seed = seed
+	return cfg.SimConfig(tr)
+}
+
+// batch draws a workload batch.
+func batch(n int, interarrival float64, mix workload.Mix, seed int64) []*dag.Job {
+	return workload.Batch(workload.BatchConfig{N: n, MeanInterarrival: interarrival, Mix: mix, Seed: seed})
+}
+
+// mustRun runs one simulation, panicking on configuration errors (the
+// experiment matrix is fixed at compile time, so failures are bugs).
+func mustRun(cfg sim.Config, jobs []*dag.Job, s sim.Scheduler) *sim.Result {
+	res, err := sim.Run(cfg, jobs, s)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", s.Name(), err))
+	}
+	return res
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastOpt() Options { return Options{Fast: true, Seed: 42} }
+
+// TestAllArtifactsRunFast exercises every registered artifact in fast
+// mode: each must produce a non-empty, correctly labeled report.
+func TestAllArtifactsRunFast(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(id, fastOpt())
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if rep.ID != id {
+				t.Fatalf("report ID = %q", rep.ID)
+			}
+			if rep.Title == "" || len(rep.Body) < 20 {
+				t.Fatalf("degenerate report: %+v", rep)
+			}
+			if !strings.Contains(rep.Render(), id) {
+				t.Fatal("Render missing artifact ID")
+			}
+		})
+	}
+}
+
+func TestIDsCoverPaperArtifacts(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig19", "fig20", "ablation",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if _, err := Run("fig99", fastOpt()); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}
+
+func TestTable1MatchesPaperBounds(t *testing.T) {
+	rep, err := Run("table1", Options{Fast: true, Grids: []string{"DE", "ZA"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact extremes are matched by construction; spot-check they
+	// appear in the rendered rows.
+	for _, needle := range []string{"130", "765", "586", "785"} {
+		if !strings.Contains(rep.Body, needle) {
+			t.Fatalf("table1 missing %s:\n%s", needle, rep.Body)
+		}
+	}
+}
+
+func TestFig1QualitativeShape(t *testing.T) {
+	rep, err := Run("fig1", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C-OPT must reduce carbon by far more than PCAPS, which must not be
+	// slower than FIFO.
+	if !strings.Contains(rep.Body, "C-OPT") || !strings.Contains(rep.Body, "PCAPS") {
+		t.Fatalf("fig1 missing policies:\n%s", rep.Body)
+	}
+	lines := strings.Split(rep.Body, "\n")
+	var coptNeg, pcapsNeg bool
+	for _, l := range lines {
+		if strings.HasPrefix(l, "C-OPT") && strings.Contains(l, "-") {
+			coptNeg = true
+		}
+		if strings.HasPrefix(l, "PCAPS") && strings.Contains(l, "-") {
+			pcapsNeg = true
+		}
+	}
+	if !coptNeg || !pcapsNeg {
+		t.Fatalf("fig1 carbon reductions missing:\n%s", rep.Body)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Grids) != 6 || o.Hours != 26304 || o.Seed == 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	f := Options{Fast: true}.withDefaults()
+	if len(f.Grids) != 1 || f.Hours >= 26304 {
+		t.Fatalf("fast defaults = %+v", f)
+	}
+}
+
+func TestTrialTraceWindows(t *testing.T) {
+	e := newEnv(Options{Fast: true, Seed: 3})
+	tr := e.trialTrace("DE", 100)
+	if len(tr.Values) != 100 {
+		t.Fatalf("window = %d samples", len(tr.Values))
+	}
+	// Different draws land at different offsets (with high probability).
+	a := e.trialTrace("DE", 100)
+	b := e.trialTrace("DE", 100)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("trial windows identical across draws")
+	}
+}

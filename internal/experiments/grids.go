@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pcaps/internal/metrics"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
+	"pcaps/internal/workload"
+)
+
+func init() {
+	register("fig10", fig10)
+	register("fig14", fig14)
+}
+
+// gridRow aggregates one scheduler's per-grid outcomes.
+type gridRow struct {
+	carbonPct, ects map[string][]float64
+}
+
+func newGridRow(grids []string) *gridRow {
+	g := &gridRow{carbonPct: map[string][]float64{}, ects: map[string][]float64{}}
+	for _, name := range grids {
+		g.carbonPct[name] = nil
+		g.ects[name] = nil
+	}
+	return g
+}
+
+// perGrid runs the per-grid comparison of Figs. 10 and 14: for each grid,
+// trials of {aware schedulers} vs a baseline, reporting carbon reduction
+// and relative ECT.
+func perGrid(opt Options, proto bool, mix workload.Mix,
+	baseline func(seed int64) sim.Scheduler,
+	schedulers map[string]func(seed int64) sim.Scheduler, paperNote string, id, title string) (*Report, error) {
+	e := newEnv(opt)
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	if opt.Fast {
+		trials = 1
+	}
+	sizes := []int{25, 50, 100}
+	if opt.Fast {
+		sizes = []int{25}
+	}
+	if opt.Jobs > 0 {
+		sizes = []int{opt.Jobs}
+	}
+	rows := map[string]*gridRow{}
+	names := make([]string, 0, len(schedulers))
+	for name := range schedulers {
+		names = append(names, name)
+	}
+	// Deterministic iteration order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		rows[name] = newGridRow(e.opt.Grids)
+	}
+	for _, grid := range e.opt.Grids {
+		for _, size := range sizes {
+			for trial := 0; trial < trials; trial++ {
+				seed := e.opt.Seed + int64(trial)*7919 + int64(size)
+				jobs := batch(size, 30, mix, seed)
+				tr := e.trialTrace(grid, 60+size)
+				cfg := simConfig(tr, seed)
+				if proto {
+					cfg = protoConfig(tr, seed)
+				}
+				base := mustRun(cfg, jobs, baseline(seed))
+				for _, name := range names {
+					r := mustRun(cfg, jobs, schedulers[name](seed))
+					rows[name].carbonPct[grid] = append(rows[name].carbonPct[grid],
+						-metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
+					rows[name].ects[grid] = append(rows[name].ects[grid], r.ECT/base.ECT)
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "carbon reduction (%%):\n%-12s", "scheduler")
+	for _, g := range e.opt.Grids {
+		fmt.Fprintf(&b, "%10s", g)
+	}
+	b.WriteString("\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, g := range e.opt.Grids {
+			fmt.Fprintf(&b, "%10.1f", metrics.Summarize(rows[name].carbonPct[g]).Mean)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "relative ECT:\n%-12s", "scheduler")
+	for _, g := range e.opt.Grids {
+		fmt.Fprintf(&b, "%10s", g)
+	}
+	b.WriteString("\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-12s", name)
+		for _, g := range e.opt.Grids {
+			fmt.Fprintf(&b, "%10.3f", metrics.Summarize(rows[name].ects[g]).Mean)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(paperNote)
+	return &Report{ID: id, Title: title, Body: b.String()}, nil
+}
+
+// fig10 regenerates the prototype per-grid comparison (Fig. 10): PCAPS,
+// CAP, and Decima vs the Spark/Kubernetes default across the six grids.
+func fig10(opt Options) (*Report, error) {
+	return perGrid(opt, true, workload.MixBoth,
+		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
+		map[string]func(seed int64) sim.Scheduler{
+			"Decima": func(seed int64) sim.Scheduler { return sched.NewDecima(seed) },
+			"CAP":    func(seed int64) sim.Scheduler { return sched.NewCAP(sched.NewKubeDefault(), 20) },
+			"PCAPS":  func(seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
+		},
+		"paper: variable grids (CAISO, ON, DE) yield the largest reductions and ECT costs; flat ZA yields minimal change; Decima is ~flat everywhere\n",
+		"fig10", "prototype carbon reduction and ECT per grid (Fig 10)")
+}
+
+// fig14 regenerates the simulator per-grid comparison (Fig. 14): PCAPS,
+// CAP-FIFO, and Decima vs FIFO.
+func fig14(opt Options) (*Report, error) {
+	return perGrid(opt, false, workload.MixTPCH,
+		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
+		map[string]func(seed int64) sim.Scheduler{
+			"Decima":   func(seed int64) sim.Scheduler { return sched.NewDecima(seed) },
+			"CAP-FIFO": func(seed int64) sim.Scheduler { return sched.NewCAP(&sched.FIFO{}, 20) },
+			"PCAPS":    func(seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
+		},
+		"paper: same grid ordering as Fig 10, with Decima's baseline reduction higher than in the prototype (A.1.2)\n",
+		"fig14", "simulator carbon reduction and ECT per grid (Fig 14)")
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/dag"
+	"pcaps/internal/metrics"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
+	"pcaps/internal/workload"
+)
+
+func init() {
+	register("fig5", fig5)
+	register("fig6", fig6)
+	register("fig9", fig9)
+	register("fig15", fig15)
+}
+
+// fig5 renders 48-hour snapshots of the six grids (Fig. 5).
+func fig5(opt Options) (*Report, error) {
+	e := newEnv(opt)
+	var b strings.Builder
+	const hours = 48
+	for _, name := range e.opt.Grids {
+		tr, ok := e.traces[name]
+		if !ok {
+			continue
+		}
+		// A mid-January window: day 14 of the trace year.
+		win := tr.Slice(14*24*tr.Interval, hours*tr.Interval)
+		fmt.Fprintf(&b, "%-6s", name)
+		for i, v := range win.Values {
+			if i%4 == 0 {
+				fmt.Fprintf(&b, " %4.0f", v)
+			}
+		}
+		b.WriteString("  (every 4th hour)\n")
+		b.WriteString("      " + sparkline(win.Values) + "\n")
+	}
+	b.WriteString("paper: DE and CAISO swing widely over the day; ZA is nearly flat\n")
+	return &Report{ID: "fig5", Title: "48-hour carbon intensity snapshots (Fig 5)", Body: b.String()}, nil
+}
+
+// sparkline draws values as a row of density glyphs.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}
+
+// occupancyStrip renders per-interval busy executor counts as digits.
+func occupancyStrip(res *sim.Result, interval float64, k int, upTo int) string {
+	var b strings.Builder
+	for i := 0; i < upTo; i++ {
+		occ := 0.0
+		if i < len(res.Usage) {
+			occ = res.Usage[i] / interval
+		}
+		d := int(occ + 0.5)
+		if d > 9 {
+			d = 9
+		}
+		if d == 0 {
+			b.WriteString("·")
+		} else {
+			fmt.Fprintf(&b, "%d", d)
+		}
+	}
+	return b.String()
+}
+
+// fig6 visualizes executor occupancy for Decima, PCAPS, and CAP-FIFO on a
+// 5-executor cluster with 20 TPC-H jobs over 15 hours in the DE grid
+// (Fig. 6).
+func fig6(opt Options) (*Report, error) {
+	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	tr := e.traces["DE"].Slice(0, 200*60)
+	seed := e.opt.Seed
+	jobs := batch(20, 30, workload.MixTPCH, seed)
+	cfg := simConfig(tr, seed)
+	cfg.NumExecutors = 5
+	cfg.TrackJobUsage = true
+	const hours = 40 // the experiment's visible window (paper shows 15)
+	var b strings.Builder
+	run := func(name string, s sim.Scheduler) *sim.Result {
+		r := mustRun(cfg, jobs, s)
+		fmt.Fprintf(&b, "%-9s |%s| carbon=%6.0f g  ECT=%5.0f s\n",
+			name, occupancyStrip(r, tr.Interval, 5, hours), r.CarbonGrams, r.ECT)
+		fmt.Fprintf(&b, "%-9s |%s| (dominant job per hour)\n", "", dominantJobStrip(r, hours))
+		return r
+	}
+	dec := run("Decima", sched.NewDecima(seed))
+	pc := run("PCAPS", sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
+	cap := run("CAP-FIFO", sched.NewCAP(&sched.FIFO{}, 1))
+	fmt.Fprintf(&b, "%-9s |%s| (gCO2eq/kWh per hour)\n", "carbon", sparkline(tr.Values[:hours]))
+	if pc.CarbonGrams >= dec.CarbonGrams || pc.CarbonGrams >= cap.CarbonGrams {
+		b.WriteString("note: paper shows PCAPS with the lowest footprint of the three\n")
+	} else {
+		b.WriteString("as in the paper, PCAPS achieves the lowest footprint of the three schedules\n")
+	}
+	return &Report{ID: "fig6", Title: "executor occupancy timelines, 5 executors / 20 jobs / DE (Fig 6)", Body: b.String()}, nil
+}
+
+// fig9 regenerates the per-job scatter (Fig. 9): one point per trial of
+// (normalized avg JCT, normalized per-job carbon) for moderate PCAPS and
+// CAP in the prototype, with quadrant shares and KDE hot spots.
+func fig9(opt Options) (*Report, error) {
+	e := newEnv(opt)
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 4
+	}
+	if opt.Fast {
+		trials = 2
+	}
+	n := opt.Jobs
+	if n <= 0 {
+		n = 50
+	}
+	var pcapsPts, capPts []metrics.Point
+	for _, grid := range e.opt.Grids {
+		for trial := 0; trial < trials; trial++ {
+			seed := e.opt.Seed + int64(trial)*104729
+			jobs := batch(n, 30, workload.MixBoth, seed)
+			tr := e.trialTrace(grid, 60+n)
+			cfg := protoConfig(tr, seed)
+			base := mustRun(cfg, jobs, sched.NewKubeDefault())
+			perJob := func(r *sim.Result) float64 { return r.CarbonGrams / float64(len(jobs)) }
+			pc := mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
+			cp := mustRun(cfg, jobs, sched.NewCAP(sched.NewKubeDefault(), 20))
+			pcapsPts = append(pcapsPts, metrics.Point{X: pc.AvgJCT / base.AvgJCT, Y: perJob(pc) / perJob(base)})
+			capPts = append(capPts, metrics.Point{X: cp.AvgJCT / base.AvgJCT, Y: perJob(cp) / perJob(base)})
+		}
+	}
+	var b strings.Builder
+	render := func(name string, pts []metrics.Point) {
+		q := metrics.Quadrants(pts, 1, 1)
+		fmt.Fprintf(&b, "%-6s quadrants: both-better %.1f%%, carbon-only %.1f%%, time-only %.1f%%, both-worse %.1f%% (carbon improved: %.1f%%)\n",
+			name, 100*q.BothBetter, 100*q.CarbonOnly, 100*q.TimeOnly, 100*q.BothWorse,
+			100*(q.BothBetter+q.CarbonOnly))
+		if kde, err := metrics.NewKDE2D(pts); err == nil {
+			m := kde.Mode(30)
+			fmt.Fprintf(&b, "       KDE hot spot: JCT %.2f, per-job carbon %.2f\n", m.X, m.Y)
+		}
+	}
+	render("PCAPS", pcapsPts)
+	render("CAP", capPts)
+	b.WriteString("paper: PCAPS improves per-job carbon in 95.8% of trials and both metrics in 25.7%; CAP both in 2.1%\n")
+	return &Report{ID: "fig9", Title: "per-job carbon vs JCT scatter, prototype (Fig 9)", Body: b.String()}, nil
+}
+
+// dominantJobStrip renders, for each interval, a letter identifying the
+// job with the largest executor usage — the per-job shading of Fig. 6
+// ("each job is a unique shade of blue").
+func dominantJobStrip(res *sim.Result, upTo int) string {
+	var b strings.Builder
+	for i := 0; i < upTo; i++ {
+		best, bestU := -1, 0.0
+		for jIdx, row := range res.JobUsage {
+			if i < len(row) && row[i] > bestU {
+				best, bestU = jIdx, row[i]
+			}
+		}
+		if best < 0 {
+			b.WriteString("·")
+		} else {
+			b.WriteByte(byte('a' + best%26))
+		}
+	}
+	return b.String()
+}
+
+// jobsInSystem returns the number of arrived-but-incomplete jobs per
+// carbon interval.
+func jobsInSystem(jobs []*dag.Job, res *sim.Result, interval float64, upTo int) []int {
+	out := make([]int, upTo)
+	for i := range out {
+		t0 := float64(i) * interval
+		for j, job := range jobs {
+			completion := job.Arrival + res.JCTs[j]
+			if job.Arrival <= t0 && completion > t0 {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// fig15 regenerates the fidelity contrast of Appendix A.1.2: an identical
+// batch of 50 TPC-H jobs under the simulator's standalone FIFO and the
+// prototype's capped default, with occupancy and jobs-in-system
+// timelines.
+func fig15(opt Options) (*Report, error) {
+	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	seed := e.opt.Seed
+	n := 50
+	if opt.Fast {
+		n = 25
+	}
+	jobs := batch(n, 30, workload.MixTPCH, seed)
+	tr := e.traces["DE"]
+	fifo := mustRun(simConfig(tr, seed), jobs, &sched.FIFO{})
+	proto := mustRun(protoConfig(tr, seed), jobs, sched.NewKubeDefault())
+	hours := len(fifo.Usage)
+	if len(proto.Usage) > hours {
+		hours = len(proto.Usage)
+	}
+	var b strings.Builder
+	strip := func(name string, r *sim.Result) {
+		fmt.Fprintf(&b, "%-10s busy |%s| (0-9 ≈ 0-100 executors)\n", name,
+			scaledOccupancy(r, tr.Interval, hours))
+		sys := jobsInSystem(jobs, r, tr.Interval, hours)
+		var sb strings.Builder
+		for _, v := range sys {
+			if v == 0 {
+				sb.WriteString("·")
+			} else if v > 9 {
+				sb.WriteString("+")
+			} else {
+				fmt.Fprintf(&sb, "%d", v)
+			}
+		}
+		fmt.Fprintf(&b, "%-10s jobs |%s|\n", name, sb.String())
+	}
+	strip("simulator", fifo)
+	strip("prototype", proto)
+	fmt.Fprintf(&b, "carbon: prototype vs simulator FIFO %+.1f%% (paper −18.8%%)\n",
+		metrics.PercentChange(proto.CarbonGrams, fifo.CarbonGrams))
+	fmt.Fprintf(&b, "avg JCT: prototype vs simulator FIFO %+.1f%% (paper −22.1%%)\n",
+		metrics.PercentChange(proto.AvgJCT, fifo.AvgJCT))
+	return &Report{ID: "fig15", Title: "standalone FIFO vs prototype default, identical batch (Fig 15 / A.1.2)", Body: b.String()}, nil
+}
+
+// scaledOccupancy renders busy executors on a 0-9 scale of the cluster
+// size (100 executors).
+func scaledOccupancy(res *sim.Result, interval float64, upTo int) string {
+	var b strings.Builder
+	for i := 0; i < upTo; i++ {
+		occ := 0.0
+		if i < len(res.Usage) {
+			occ = res.Usage[i] / interval
+		}
+		d := int(occ/100*9 + 0.5)
+		if d > 9 {
+			d = 9
+		}
+		if d == 0 {
+			b.WriteString("·")
+		} else {
+			fmt.Fprintf(&b, "%d", d)
+		}
+	}
+	return b.String()
+}
+
+// silence the carbon import when builds shuffle helpers around.
+var _ = carbon.PaperHours

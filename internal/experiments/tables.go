@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pcaps/internal/metrics"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
+	"pcaps/internal/workload"
+)
+
+func init() {
+	register("table1", table1)
+	register("table2", table2)
+	register("table3", table3)
+}
+
+// paperTable1 holds the published Table 1 values for side-by-side
+// rendering: min, max, mean, coefficient of variation.
+var paperTable1 = map[string][4]float64{
+	"PJM":   {293, 567, 425, 0.110},
+	"CAISO": {83, 451, 274, 0.309},
+	"ON":    {12, 179, 50, 0.654},
+	"DE":    {130, 765, 440, 0.280},
+	"NSW":   {267, 817, 647, 0.143},
+	"ZA":    {586, 785, 713, 0.046},
+}
+
+// table1 regenerates Table 1: carbon-trace characteristics per grid.
+func table1(opt Options) (*Report, error) {
+	e := newEnv(opt)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %9s %9s %9s %10s   %s\n",
+		"grid", "min", "max", "mean", "coeff.var", "paper(min/max/mean/cv)")
+	for _, name := range e.opt.Grids {
+		tr, ok := e.traces[name]
+		if !ok {
+			continue
+		}
+		s := tr.Stats()
+		p := paperTable1[name]
+		fmt.Fprintf(&b, "%-6s %9.0f %9.0f %9.0f %10.3f   %.0f/%.0f/%.0f/%.3f\n",
+			name, s.Min, s.Max, s.Mean, s.CoeffVar, p[0], p[1], p[2], p[3])
+	}
+	fmt.Fprintf(&b, "(%d hourly samples per grid; paper uses 26,304)\n", e.opt.Hours)
+	return &Report{ID: "table1", Title: "carbon intensity trace characteristics", Body: b.String()}, nil
+}
+
+// normTriple holds one scheduler's three Table 2/3 metrics, normalized to
+// the experiment's baseline.
+type normTriple struct {
+	carbonPct float64 // CO2 reduction % (positive = reduction)
+	ect, jct  float64 // ratios vs baseline
+	n         int
+}
+
+func (a *normTriple) add(base, r *sim.Result) {
+	a.carbonPct += -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams)
+	a.ect += r.ECT / base.ECT
+	a.jct += r.AvgJCT / base.AvgJCT
+	a.n++
+}
+
+func (a *normTriple) row(name string) string {
+	n := float64(a.n)
+	if a.n == 0 {
+		n = 1
+	}
+	return fmt.Sprintf("%-14s %12.1f%% %10.3f %10.3f\n", name, a.carbonPct/n, a.ect/n, a.jct/n)
+}
+
+// table2 regenerates Table 2: prototype results averaged over the six
+// grids, batch sizes {25,50,100}, metrics normalized to the
+// Spark/Kubernetes default. Paper: Decima 1.2% / 0.857 / 0.852; CAP
+// 24.7% / 1.126 / 1.996; PCAPS 32.9% / 1.013 / 1.381.
+func table2(opt Options) (*Report, error) {
+	e := newEnv(opt)
+	sizes := []int{25, 50, 100}
+	trials := e.opt.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	if e.opt.Fast {
+		sizes = []int{25}
+		trials = 1
+	}
+	if e.opt.Jobs > 0 {
+		sizes = []int{e.opt.Jobs}
+	}
+	names := []string{"default", "Decima", "CAP", "PCAPS"}
+	aggs := map[string]*normTriple{}
+	for _, n := range names {
+		aggs[n] = &normTriple{}
+	}
+	for _, grid := range e.opt.Grids {
+		for _, size := range sizes {
+			for trial := 0; trial < trials; trial++ {
+				seed := e.opt.Seed + int64(trial)*7919 + int64(size)
+				jobs := batch(size, 30, workload.MixBoth, seed)
+				window := 60 + size // hours: generous for the batch
+				tr := e.trialTrace(grid, window)
+				mk := func(s sim.Scheduler) *sim.Result {
+					return mustRun(protoConfig(tr, seed), jobs, s)
+				}
+				base := mk(sched.NewKubeDefault())
+				aggs["default"].add(base, base)
+				aggs["Decima"].add(base, mk(sched.NewDecima(seed)))
+				aggs["CAP"].add(base, mk(sched.NewCAP(sched.NewKubeDefault(), 20)))
+				aggs["PCAPS"].add(base, mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)))
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %13s %10s %10s   (normalized to default)\n", "scheduler", "CO2 red.", "avg ECT", "avg JCT")
+	for _, n := range names {
+		b.WriteString(aggs[n].row(n))
+	}
+	b.WriteString("paper:        default 0%/1.0/1.0 · Decima 1.2%/0.857/0.852 · CAP 24.7%/1.126/1.996 · PCAPS 32.9%/1.013/1.381\n")
+	return &Report{ID: "table2", Title: "prototype results summary (§6.3)", Body: b.String()}, nil
+}
+
+// table3 regenerates Table 3: simulator results, normalized to Spark
+// standalone FIFO. Paper carbon reductions: W.Fair 12.1%, Decima 21.5%,
+// GreenHadoop 8.2%, CAP-FIFO 22.7%, CAP-W.Fair 34.2%, CAP-Decima 31.1%,
+// PCAPS 39.7%.
+func table3(opt Options) (*Report, error) {
+	e := newEnv(opt)
+	sizes := []int{25, 50, 100}
+	trials := e.opt.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	if e.opt.Fast {
+		sizes = []int{25}
+		trials = 1
+	}
+	if e.opt.Jobs > 0 {
+		sizes = []int{e.opt.Jobs}
+	}
+	names := []string{"FIFO", "W.Fair", "Decima", "GreenHadoop", "CAP-FIFO", "CAP-W.Fair", "CAP-Decima", "PCAPS"}
+	aggs := map[string]*normTriple{}
+	for _, n := range names {
+		aggs[n] = &normTriple{}
+	}
+	for _, grid := range e.opt.Grids {
+		for _, size := range sizes {
+			for trial := 0; trial < trials; trial++ {
+				seed := e.opt.Seed + int64(trial)*7919 + int64(size)
+				jobs := batch(size, 30, workload.MixTPCH, seed)
+				tr := e.trialTrace(grid, 60+size)
+				mk := func(s sim.Scheduler) *sim.Result {
+					return mustRun(simConfig(tr, seed), jobs, s)
+				}
+				base := mk(&sched.FIFO{})
+				aggs["FIFO"].add(base, base)
+				aggs["W.Fair"].add(base, mk(&sched.WeightedFair{}))
+				aggs["Decima"].add(base, mk(sched.NewDecima(seed)))
+				aggs["GreenHadoop"].add(base, mk(sched.NewGreenHadoop()))
+				aggs["CAP-FIFO"].add(base, mk(sched.NewCAP(&sched.FIFO{}, 20)))
+				aggs["CAP-W.Fair"].add(base, mk(sched.NewCAP(&sched.WeightedFair{}, 20)))
+				aggs["CAP-Decima"].add(base, mk(sched.NewCAP(sched.NewDecima(seed), 20)))
+				aggs["PCAPS"].add(base, mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)))
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %13s %10s %10s   (normalized to FIFO)\n", "scheduler", "CO2 red.", "avg ECT", "avg JCT")
+	for _, n := range names {
+		b.WriteString(aggs[n].row(n))
+	}
+	b.WriteString("paper CO2 red.: W.Fair 12.1% · Decima 21.5% · GreenHadoop 8.2% · CAP-FIFO 22.7% · CAP-W.Fair 34.2% · CAP-Decima 31.1% · PCAPS 39.7%\n")
+	b.WriteString("paper ECT:      0.972 · 0.970 · 1.077 · 1.108 · 1.011(WF) · 1.061(Dec) · 1.045(PCAPS)\n")
+	return &Report{ID: "table3", Title: "simulator results summary (§6.4)", Body: b.String()}, nil
+}

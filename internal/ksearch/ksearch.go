@@ -1,0 +1,145 @@
+// Package ksearch implements the k-search threshold machinery behind CAP
+// (§4.2). CAP frames carbon-aware resource provisioning as repeated rounds
+// of (K−B)-search over time-varying carbon intensities: the threshold set
+//
+//	Φ_B     = U
+//	Φ_{i+B} = U − (U − U/α)·[1 + 1/((K−B)α)]^{i−1},  i ∈ {1, …, K−B}
+//
+// where α solves [1 + 1/((K−B)α)]^{K−B} = (U−L) / (U·(1−1/α)), maps the
+// current carbon intensity to a machine quota: cheap periods unlock all K
+// machines, expensive periods throttle the cluster down to the floor B that
+// guarantees continuous progress.
+package ksearch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by NewThresholds.
+var (
+	ErrBadBounds = errors.New("ksearch: require 0 < L ≤ U")
+	ErrBadQuota  = errors.New("ksearch: require 1 ≤ B ≤ K")
+)
+
+// Thresholds holds the solved threshold set for a (K, B, L, U) instance.
+// The zero value is unusable; construct with NewThresholds.
+type Thresholds struct {
+	K, B  int
+	L, U  float64
+	Alpha float64
+	// Phi[i] is Φ_{B+i} for i in 0..K−B; Phi[0] = U and the sequence is
+	// non-increasing, approaching L.
+	Phi []float64
+}
+
+// Alpha solves [1 + 1/(kα)]^k = (U−L)/(U(1−1/α)) for α > 1 by bisection.
+// k must be ≥ 1 and 0 < L < U. The left side is continuous and the
+// difference LHS−RHS is strictly increasing on (1, ∞), going from −∞ to
+// 1 − (U−L)/U > 0, so a unique root exists.
+func Alpha(k int, l, u float64) float64 {
+	lhs := func(a float64) float64 {
+		return math.Pow(1+1/(float64(k)*a), float64(k))
+	}
+	rhs := func(a float64) float64 {
+		return (u - l) / (u * (1 - 1/a))
+	}
+	lo, hi := 1+1e-12, 2.0
+	for lhs(hi)-rhs(hi) < 0 && hi < 1e12 {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if lhs(mid)-rhs(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// NewThresholds computes the CAP threshold set for a cluster of K machines
+// with minimum quota B and forecast carbon bounds L ≤ U.
+//
+// Degenerate instances are handled as the paper's design implies: when
+// B = K the quota is pinned to K; when L = U there is nothing to hedge
+// against and every threshold equals U (CAP acts carbon-agnostically).
+func NewThresholds(k, b int, l, u float64) (*Thresholds, error) {
+	if !(l > 0) || !(u >= l) || math.IsInf(u, 1) || math.IsNaN(l) || math.IsNaN(u) {
+		return nil, fmt.Errorf("%w: L=%v U=%v", ErrBadBounds, l, u)
+	}
+	if b < 1 || b > k {
+		return nil, fmt.Errorf("%w: K=%d B=%d", ErrBadQuota, k, b)
+	}
+	t := &Thresholds{K: k, B: b, L: l, U: u}
+	n := k - b
+	t.Phi = make([]float64, n+1)
+	t.Phi[0] = u
+	if n == 0 {
+		t.Alpha = 1
+		return t, nil
+	}
+	if u-l < 1e-12*u {
+		t.Alpha = 1
+		for i := range t.Phi {
+			t.Phi[i] = u
+		}
+		return t, nil
+	}
+	t.Alpha = Alpha(n, l, u)
+	step := 1 + 1/(float64(n)*t.Alpha)
+	pow := 1.0
+	for i := 1; i <= n; i++ {
+		t.Phi[i] = u - (u-u/t.Alpha)*pow
+		pow *= step
+	}
+	// Guard against floating-point drift: clamp into [L, U] and enforce
+	// monotonicity so Quota is well defined.
+	for i := 1; i <= n; i++ {
+		if t.Phi[i] < l {
+			t.Phi[i] = l
+		}
+		if t.Phi[i] > t.Phi[i-1] {
+			t.Phi[i] = t.Phi[i-1]
+		}
+	}
+	return t, nil
+}
+
+// Quota returns the resource quota r(t) for carbon intensity c: the index
+// (in machines) of the largest threshold ≤ c, i.e. the paper's
+// r(t) ← argmax_{i} Φ_i : Φ_i ≤ c(t). Because Φ decreases from U toward L
+// as the index grows, high carbon maps to the floor B and carbon below
+// every threshold unlocks all K machines.
+func (t *Thresholds) Quota(c float64) int {
+	// Phi[i] = Φ_{B+i} is non-increasing in i; find the smallest i with
+	// Φ_{B+i} ≤ c. Binary search over the reversed ordering.
+	lo, hi := 0, len(t.Phi) // search window [lo, hi)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.Phi[mid] <= c {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(t.Phi) {
+		return t.K // c below every threshold: all machines available
+	}
+	return t.B + lo
+}
+
+// MinQuota returns M(B, c), the minimum quota CAP would set over the trace
+// values supplied — the quantity that drives CAP's carbon stretch factor
+// (Theorem 4.5).
+func (t *Thresholds) MinQuota(intensities []float64) int {
+	m := t.K
+	for _, c := range intensities {
+		if q := t.Quota(c); q < m {
+			m = q
+		}
+	}
+	return m
+}

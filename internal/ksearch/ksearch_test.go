@@ -1,0 +1,204 @@
+package ksearch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphaSolvesEquation(t *testing.T) {
+	tests := []struct {
+		k    int
+		l, u float64
+	}{
+		{1, 50, 500}, {10, 50, 500}, {80, 130, 765}, {95, 12, 179}, {5, 586, 785},
+	}
+	for _, tt := range tests {
+		a := Alpha(tt.k, tt.l, tt.u)
+		if a <= 1 {
+			t.Fatalf("Alpha(%d,%v,%v) = %v, want > 1", tt.k, tt.l, tt.u, a)
+		}
+		lhs := math.Pow(1+1/(float64(tt.k)*a), float64(tt.k))
+		rhs := (tt.u - tt.l) / (tt.u * (1 - 1/a))
+		if math.Abs(lhs-rhs) > 1e-6*math.Max(lhs, 1) {
+			t.Fatalf("Alpha(%d,%v,%v): residual lhs=%v rhs=%v", tt.k, tt.l, tt.u, lhs, rhs)
+		}
+	}
+}
+
+func TestNewThresholdsValidation(t *testing.T) {
+	if _, err := NewThresholds(10, 0, 100, 200); err == nil {
+		t.Fatal("B=0 accepted")
+	}
+	if _, err := NewThresholds(10, 11, 100, 200); err == nil {
+		t.Fatal("B>K accepted")
+	}
+	if _, err := NewThresholds(10, 2, -1, 200); err == nil {
+		t.Fatal("negative L accepted")
+	}
+	if _, err := NewThresholds(10, 2, 300, 200); err == nil {
+		t.Fatal("L>U accepted")
+	}
+}
+
+func TestThresholdStructure(t *testing.T) {
+	th, err := NewThresholds(100, 20, 130, 765)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(th.Phi) != 81 {
+		t.Fatalf("len(Phi) = %d, want 81", len(th.Phi))
+	}
+	if th.Phi[0] != 765 {
+		t.Fatalf("Phi[0] = %v, want U", th.Phi[0])
+	}
+	// Φ_{B+1} = U/α by construction.
+	if got, want := th.Phi[1], 765/th.Alpha; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Phi[1] = %v, want U/α = %v", got, want)
+	}
+	for i := 1; i < len(th.Phi); i++ {
+		if th.Phi[i] > th.Phi[i-1] {
+			t.Fatalf("Phi not non-increasing at %d: %v > %v", i, th.Phi[i], th.Phi[i-1])
+		}
+		if th.Phi[i] < th.L-1e-9 || th.Phi[i] > th.U+1e-9 {
+			t.Fatalf("Phi[%d] = %v outside [L,U]", i, th.Phi[i])
+		}
+	}
+}
+
+func TestQuotaMonotoneDecreasingInCarbon(t *testing.T) {
+	th, err := NewThresholds(100, 20, 130, 765)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := th.K + 1
+	for c := 0.0; c <= 900; c += 5 {
+		q := th.Quota(c)
+		if q < th.B || q > th.K {
+			t.Fatalf("Quota(%v) = %d outside [B,K]", c, q)
+		}
+		if q > prev {
+			t.Fatalf("Quota not non-increasing: Quota(%v)=%d after %d", c, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQuotaExtremes(t *testing.T) {
+	th, err := NewThresholds(100, 20, 130, 765)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := th.Quota(765); q != 20 {
+		t.Fatalf("Quota(U) = %d, want B=20", q)
+	}
+	if q := th.Quota(1e9); q != 20 {
+		t.Fatalf("Quota(huge) = %d, want B=20", q)
+	}
+	if q := th.Quota(0); q != 100 {
+		t.Fatalf("Quota(0) = %d, want K=100", q)
+	}
+	// Just below the last threshold: full cluster.
+	if q := th.Quota(th.Phi[len(th.Phi)-1] - 1e-6); q != 100 {
+		t.Fatalf("Quota(below Φ_K) = %d, want 100", q)
+	}
+}
+
+func TestDegenerateBEqualsK(t *testing.T) {
+	th, err := NewThresholds(50, 50, 100, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{0, 100, 400, 700, 1e6} {
+		if q := th.Quota(c); q != 50 {
+			t.Fatalf("Quota(%v) = %d, want 50", c, q)
+		}
+	}
+}
+
+func TestDegenerateFlatCarbon(t *testing.T) {
+	// L = U: condition i) of §3 — no fluctuation, so CAP must act
+	// carbon-agnostically (full quota below U).
+	th, err := NewThresholds(50, 5, 400, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := th.Quota(399.99); q != 50 {
+		t.Fatalf("Quota just below flat carbon = %d, want K", q)
+	}
+	if q := th.Quota(400); q != 5 {
+		t.Fatalf("Quota at U = %d, want B", q)
+	}
+}
+
+func TestMinQuota(t *testing.T) {
+	th, err := NewThresholds(100, 20, 130, 765)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := th.MinQuota([]float64{130, 200, 765}); m != 20 {
+		t.Fatalf("MinQuota = %d, want 20", m)
+	}
+	if m := th.MinQuota([]float64{100, 120}); m != 100 {
+		t.Fatalf("MinQuota(all low) = %d, want 100", m)
+	}
+	if m := th.MinQuota(nil); m != 100 {
+		t.Fatalf("MinQuota(empty) = %d, want K", m)
+	}
+}
+
+func TestQuickQuotaWithinBoundsAndMonotone(t *testing.T) {
+	f := func(rawK, rawB uint8, rawL, rawU float64, c1, c2 float64) bool {
+		k := int(rawK%100) + 1
+		b := int(rawB)%k + 1
+		l := 1 + math.Mod(math.Abs(rawL), 500)
+		u := l + math.Mod(math.Abs(rawU), 500)
+		th, err := NewThresholds(k, b, l, u)
+		if err != nil {
+			return false
+		}
+		x1 := math.Mod(math.Abs(c1), 1200)
+		x2 := math.Mod(math.Abs(c2), 1200)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		q1, q2 := th.Quota(x1), th.Quota(x2)
+		return q1 >= b && q1 <= k && q2 >= b && q2 <= k && q1 >= q2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAlphaAtLeastOne(t *testing.T) {
+	f := func(rawK uint8, rawL, rawU float64) bool {
+		k := int(rawK%120) + 1
+		l := 1 + math.Mod(math.Abs(rawL), 800)
+		u := l + 1e-6 + math.Mod(math.Abs(rawU), 800)
+		a := Alpha(k, l, u)
+		return a > 1 && !math.IsNaN(a) && !math.IsInf(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNewThresholds(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewThresholds(100, 20, 130, 765); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuota(b *testing.B) {
+	th, err := NewThresholds(100, 20, 130, 765)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		th.Quota(float64(i % 900))
+	}
+}

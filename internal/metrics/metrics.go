@@ -1,0 +1,278 @@
+// Package metrics provides the statistical machinery the paper's
+// evaluation plots rely on: summary statistics with standard deviations
+// (every figure's shaded region), quantiles, two-dimensional Gaussian
+// kernel density estimation (the contour clusters of Fig. 9), quadrant
+// analysis of per-job outcomes (Fig. 9's annotations), and least-squares
+// polynomial fitting (the cubic trend lines of Fig. 13).
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N                   int
+	Mean, Std, Min, Max float64
+	CoeffVar            float64
+}
+
+// Summarize computes sample statistics (population standard deviation, as
+// the paper's coefficient-of-variation table does).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(xs)))
+	if s.Mean != 0 {
+		s.CoeffVar = s.Std / math.Abs(s.Mean)
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It returns NaN for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Point is a 2-D sample (e.g. one trial's normalized JCT and carbon).
+type Point struct{ X, Y float64 }
+
+// QuadrantShares reports the fraction of points in each quadrant around
+// the pivot (Fig. 9 splits the plane at the (1,1) baseline point).
+// Quadrants are labeled as in the figure: the "better" quadrant is
+// x < pivotX and y < pivotY (less time, less carbon).
+type QuadrantShares struct {
+	// BothBetter: x < px, y < py. CarbonOnly: x ≥ px, y < py.
+	// TimeOnly: x < px, y ≥ py. BothWorse: x ≥ px, y ≥ py.
+	BothBetter, CarbonOnly, TimeOnly, BothWorse float64
+}
+
+// Quadrants computes quadrant shares around (px, py).
+func Quadrants(pts []Point, px, py float64) QuadrantShares {
+	var q QuadrantShares
+	if len(pts) == 0 {
+		return q
+	}
+	inc := 1 / float64(len(pts))
+	for _, p := range pts {
+		switch {
+		case p.X < px && p.Y < py:
+			q.BothBetter += inc
+		case p.X >= px && p.Y < py:
+			q.CarbonOnly += inc
+		case p.X < px && p.Y >= py:
+			q.TimeOnly += inc
+		default:
+			q.BothWorse += inc
+		}
+	}
+	return q
+}
+
+// KDE2D is a two-dimensional Gaussian kernel density estimator with a
+// diagonal bandwidth chosen by Scott's rule, as used for the outcome
+// clusters in Fig. 9.
+type KDE2D struct {
+	pts    []Point
+	hx, hy float64
+}
+
+// NewKDE2D fits the estimator to the points. It returns an error for
+// fewer than two points or degenerate (zero-variance) data, for which a
+// kernel bandwidth cannot be derived.
+func NewKDE2D(pts []Point) (*KDE2D, error) {
+	if len(pts) < 2 {
+		return nil, errors.New("metrics: KDE needs at least two points")
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	sx, sy := Summarize(xs).Std, Summarize(ys).Std
+	if sx == 0 || sy == 0 {
+		return nil, errors.New("metrics: KDE needs non-degenerate data")
+	}
+	// Scott's rule for d=2: h_i = σ_i · n^(−1/6).
+	n := float64(len(pts))
+	factor := math.Pow(n, -1.0/6)
+	return &KDE2D{pts: append([]Point(nil), pts...), hx: sx * factor, hy: sy * factor}, nil
+}
+
+// Density evaluates the estimated density at (x, y).
+func (k *KDE2D) Density(x, y float64) float64 {
+	var sum float64
+	for _, p := range k.pts {
+		dx := (x - p.X) / k.hx
+		dy := (y - p.Y) / k.hy
+		sum += math.Exp(-0.5 * (dx*dx + dy*dy))
+	}
+	norm := float64(len(k.pts)) * 2 * math.Pi * k.hx * k.hy
+	return sum / norm
+}
+
+// Mode returns the grid point with maximal density over an n×n grid
+// spanning the data's bounding box — the "hot spot" Fig. 9 annotates.
+func (k *KDE2D) Mode(n int) Point {
+	if n < 2 {
+		n = 2
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range k.pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	best := Point{minX, minY}
+	bestD := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := minX + (maxX-minX)*float64(i)/float64(n-1)
+			y := minY + (maxY-minY)*float64(j)/float64(n-1)
+			if d := k.Density(x, y); d > bestD {
+				bestD = d
+				best = Point{x, y}
+			}
+		}
+	}
+	return best
+}
+
+// PolyFit fits a least-squares polynomial of the given degree to the
+// points and returns its coefficients c[0] + c[1]x + … + c[deg]x^deg.
+// Fig. 13 uses degree 3. It solves the normal equations by Gaussian
+// elimination with partial pivoting; an error is returned when the system
+// is singular (e.g. fewer distinct x values than deg+1).
+func PolyFit(pts []Point, deg int) ([]float64, error) {
+	if deg < 0 {
+		return nil, errors.New("metrics: negative degree")
+	}
+	if len(pts) < deg+1 {
+		return nil, errors.New("metrics: not enough points for degree")
+	}
+	m := deg + 1
+	// Normal equations: A c = b with A[i][j] = Σ x^(i+j), b[i] = Σ y·x^i.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	pow := make([]float64, 2*m-1)
+	for _, p := range pts {
+		xp := 1.0
+		for k := 0; k < 2*m-1; k++ {
+			pow[k] += xp
+			xp *= p.X
+		}
+		xp = 1.0
+		for i := 0; i < m; i++ {
+			b[i] += p.Y * xp
+			xp *= p.X
+		}
+	}
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			a[i][j] = pow[i+j]
+		}
+	}
+	return solve(a, b)
+}
+
+// PolyEval evaluates a polynomial (coefficients low-order first) at x.
+func PolyEval(coef []float64, x float64) float64 {
+	var y float64
+	for i := len(coef) - 1; i >= 0; i-- {
+		y = y*x + coef[i]
+	}
+	return y
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b,
+// mutating its arguments.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, errors.New("metrics: singular system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = b[i]
+		for j := i + 1; j < n; j++ {
+			x[i] -= a[i][j] * x[j]
+		}
+		x[i] /= a[i][i]
+	}
+	return x, nil
+}
+
+// Normalize divides each value by base, the "relative to baseline"
+// transform every table and figure applies. A zero base returns a copy.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if base != 0 {
+			out[i] = x / base
+		} else {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// PercentChange returns 100·(x−base)/base, the paper's "% reduction"
+// convention (negative = reduction when x < base).
+func PercentChange(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (x - base) / base
+}

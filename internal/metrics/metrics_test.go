@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Std != 2 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.CoeffVar-0.4) > 1e-12 {
+		t.Fatalf("CoeffVar = %v", s.CoeffVar)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile([]float64{3, 1, 2}, 0.5); got != 2 {
+		t.Fatalf("unsorted Quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty Quantile should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuadrants(t *testing.T) {
+	pts := []Point{
+		{0.5, 0.5}, // both better
+		{1.5, 0.5}, // carbon only
+		{0.5, 1.5}, // time only
+		{1.5, 1.5}, // both worse
+	}
+	q := Quadrants(pts, 1, 1)
+	if q.BothBetter != 0.25 || q.CarbonOnly != 0.25 || q.TimeOnly != 0.25 || q.BothWorse != 0.25 {
+		t.Fatalf("Quadrants = %+v", q)
+	}
+	sum := q.BothBetter + q.CarbonOnly + q.TimeOnly + q.BothWorse
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+	if z := Quadrants(nil, 1, 1); z.BothBetter != 0 {
+		t.Fatalf("empty Quadrants = %+v", z)
+	}
+}
+
+func TestKDE2DConcentratesOnCluster(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var pts []Point
+	for i := 0; i < 300; i++ {
+		pts = append(pts, Point{1 + 0.05*r.NormFloat64(), 0.7 + 0.05*r.NormFloat64()})
+	}
+	k, err := NewKDE2D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := k.Density(1, 0.7)
+	far := k.Density(2, 2)
+	if center <= 10*far {
+		t.Fatalf("density not concentrated: center %v, far %v", center, far)
+	}
+	mode := k.Mode(40)
+	if math.Abs(mode.X-1) > 0.1 || math.Abs(mode.Y-0.7) > 0.1 {
+		t.Fatalf("mode = %+v, want near (1, 0.7)", mode)
+	}
+}
+
+func TestKDE2DErrors(t *testing.T) {
+	if _, err := NewKDE2D(nil); err == nil {
+		t.Fatal("empty KDE accepted")
+	}
+	if _, err := NewKDE2D([]Point{{1, 1}}); err == nil {
+		t.Fatal("single-point KDE accepted")
+	}
+	if _, err := NewKDE2D([]Point{{1, 1}, {1, 2}}); err == nil {
+		t.Fatal("zero-x-variance KDE accepted")
+	}
+}
+
+func TestKDE2DIntegratesToOneApprox(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{r.NormFloat64(), r.NormFloat64()})
+	}
+	k, err := NewKDE2D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid-free Riemann sum over a wide box.
+	const lo, hi, n = -6.0, 6.0, 120
+	h := (hi - lo) / n
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			total += k.Density(lo+(float64(i)+0.5)*h, lo+(float64(j)+0.5)*h) * h * h
+		}
+	}
+	if math.Abs(total-1) > 0.05 {
+		t.Fatalf("KDE mass = %v, want ≈1", total)
+	}
+}
+
+func TestPolyFitExactCubic(t *testing.T) {
+	// y = 2 − x + 0.5x² + 0.25x³ sampled exactly.
+	want := []float64{2, -1, 0.5, 0.25}
+	var pts []Point
+	for x := -3.0; x <= 3; x += 0.5 {
+		pts = append(pts, Point{x, PolyEval(want, x)})
+	}
+	got, err := PolyFit(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("coef[%d] = %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPolyFitNoisyLine(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var pts []Point
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 10
+		pts = append(pts, Point{x, 3 + 2*x + 0.01*r.NormFloat64()})
+	}
+	coef, err := PolyFit(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-3) > 0.01 || math.Abs(coef[1]-2) > 0.01 {
+		t.Fatalf("line fit = %v", coef)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]Point{{1, 1}}, 3); err == nil {
+		t.Fatal("underdetermined fit accepted")
+	}
+	if _, err := PolyFit([]Point{{1, 1}, {1, 2}, {1, 3}, {1, 4}}, 3); err == nil {
+		t.Fatal("singular fit accepted")
+	}
+	if _, err := PolyFit([]Point{{1, 1}, {2, 2}}, -1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+}
+
+func TestNormalizeAndPercentChange(t *testing.T) {
+	got := Normalize([]float64{2, 4}, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Normalize = %v", got)
+	}
+	if got := Normalize([]float64{5}, 0); got[0] != 5 {
+		t.Fatalf("zero-base Normalize = %v", got)
+	}
+	if pc := PercentChange(75, 100); pc != -25 {
+		t.Fatalf("PercentChange = %v", pc)
+	}
+	if pc := PercentChange(5, 0); pc != 0 {
+		t.Fatalf("zero-base PercentChange = %v", pc)
+	}
+}
+
+func TestQuickQuadrantSharesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{r.Float64() * 2, r.Float64() * 2}
+		}
+		q := Quadrants(pts, 1, 1)
+		sum := q.BothBetter + q.CarbonOnly + q.TimeOnly + q.BothWorse
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPolyFitInterpolatesDegreePoints(t *testing.T) {
+	// deg+1 distinct points are interpolated exactly by a deg-fit.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		deg := 1 + r.Intn(3)
+		pts := make([]Point, deg+1)
+		for i := range pts {
+			pts[i] = Point{float64(i) + r.Float64()*0.5, r.NormFloat64() * 10}
+		}
+		coef, err := PolyFit(pts, deg)
+		if err != nil {
+			return false
+		}
+		for _, p := range pts {
+			if math.Abs(PolyEval(coef, p.X)-p.Y) > 1e-5*(1+math.Abs(p.Y)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKDEDensity(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{r.NormFloat64(), r.NormFloat64()}
+	}
+	k, err := NewKDE2D(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Density(0.5, -0.5)
+	}
+}

@@ -1,0 +1,462 @@
+// Package optimal computes exact reference schedules for small DAG
+// instances — the T-OPT (time-optimal) and C-OPT (carbon-optimal with a
+// deadline) policies of the paper's motivating example (Fig. 1). DAG
+// scheduling is NP-hard [36], so these are exponential dynamic programs
+// over the stage-remaining-work state space, intended for instances of at
+// most a dozen stages and a few dozen time slots; they exist to quantify
+// how far heuristic and carbon-aware policies sit from the two optima.
+//
+// The model matches Fig. 1: time is slotted (one slot = one grid-hour),
+// each stage is a unit of serial work lasting an integral number of
+// slots, at most K stages run per slot, execution is preemptive at slot
+// granularity, and a slot of execution costs the slot's carbon intensity.
+package optimal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pcaps/internal/dag"
+)
+
+// Instance is a small scheduling instance.
+type Instance struct {
+	// Job supplies the DAG. Stage durations are interpreted as integer
+	// slot counts (TaskDuration rounded up); NumTasks must be 1.
+	Job *dag.Job
+	// K is the machine count.
+	K int
+	// Carbon holds the per-slot carbon intensities; scheduling beyond
+	// the last slot reuses the final value.
+	Carbon []float64
+	// Deadline is the completion deadline in slots for C-OPT.
+	Deadline int
+}
+
+// Schedule is a slot-indexed execution plan: Slots[t] lists the stage IDs
+// running during slot t.
+type Schedule struct {
+	Slots [][]int
+}
+
+// Makespan returns the number of slots until the last stage finishes.
+func (s *Schedule) Makespan() int { return len(s.Slots) }
+
+// CarbonCost sums the carbon of every stage-slot under the instance's
+// per-slot intensities.
+func (s *Schedule) CarbonCost(carbon []float64) float64 {
+	var total float64
+	for t, ids := range s.Slots {
+		total += carbonAt(carbon, t) * float64(len(ids))
+	}
+	return total
+}
+
+func carbonAt(carbon []float64, t int) float64 {
+	if len(carbon) == 0 {
+		return 0
+	}
+	if t >= len(carbon) {
+		return carbon[len(carbon)-1]
+	}
+	return carbon[t]
+}
+
+// Errors returned by the solvers.
+var (
+	ErrTooLarge   = errors.New("optimal: instance too large for exact search")
+	ErrInfeasible = errors.New("optimal: no schedule meets the deadline")
+	ErrBadJob     = errors.New("optimal: stages must have exactly one task")
+)
+
+// maxStates bounds the DP state space as a safety valve.
+const maxStates = 2_000_000
+
+// durations validates and extracts integral slot durations.
+func durations(inst Instance) ([]int, error) {
+	if inst.Job == nil || inst.K < 1 {
+		return nil, fmt.Errorf("optimal: need a job and at least one machine")
+	}
+	if err := inst.Job.Validate(); err != nil {
+		return nil, err
+	}
+	durs := make([]int, len(inst.Job.Stages))
+	states := 1.0
+	for i, st := range inst.Job.Stages {
+		if st.NumTasks != 1 {
+			return nil, fmt.Errorf("%w: stage %d has %d", ErrBadJob, i, st.NumTasks)
+		}
+		durs[i] = int(math.Ceil(st.TaskDuration))
+		if durs[i] < 1 {
+			durs[i] = 1
+		}
+		states *= float64(durs[i] + 1)
+		if states > maxStates {
+			return nil, ErrTooLarge
+		}
+	}
+	return durs, nil
+}
+
+// state is the remaining slot count per stage, encoded for memoization.
+type state []uint8
+
+func (s state) key() string { return string(s) }
+
+// eligible returns the stages that may run: incomplete with all parents
+// complete.
+func eligible(j *dag.Job, s state) []int {
+	var out []int
+	for _, st := range j.Stages {
+		if s[st.ID] == 0 {
+			continue
+		}
+		ok := true
+		for _, p := range st.Parents {
+			if s[p] != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, st.ID)
+		}
+	}
+	return out
+}
+
+// subsets enumerates the size-m subsets of ids, invoking fn for each;
+// fn returning false stops the enumeration.
+func subsets(ids []int, m int, fn func([]int) bool) {
+	pick := make([]int, 0, m)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(pick) == m {
+			return fn(pick)
+		}
+		for i := start; i < len(ids); i++ {
+			pick = append(pick, ids[i])
+			if !rec(i + 1) {
+				return false
+			}
+			pick = pick[:len(pick)-1]
+		}
+		return true
+	}
+	rec(0)
+}
+
+// TOpt computes a makespan-optimal schedule. The DP value f(state) — the
+// minimum number of slots to drain the remaining work — is
+// time-invariant, so memoization is on the state alone. Running fewer
+// than min(K, |eligible|) stages in a slot can never shorten a makespan,
+// so only maximal subsets are branched on.
+func TOpt(inst Instance) (*Schedule, error) {
+	durs, err := durations(inst)
+	if err != nil {
+		return nil, err
+	}
+	j := inst.Job
+	start := make(state, len(durs))
+	for i, d := range durs {
+		start[i] = uint8(d)
+	}
+	memo := map[string]int{}
+	var solve func(s state) int
+	solve = func(s state) int {
+		done := true
+		for _, r := range s {
+			if r != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return 0
+		}
+		if v, ok := memo[s.key()]; ok {
+			return v
+		}
+		memo[s.key()] = 1 << 20 // guard against (impossible) cycles
+		el := eligible(j, s)
+		m := inst.K
+		if m > len(el) {
+			m = len(el)
+		}
+		best := 1 << 20
+		subsets(el, m, func(run []int) bool {
+			next := append(state(nil), s...)
+			for _, id := range run {
+				next[id]--
+			}
+			if v := 1 + solve(next); v < best {
+				best = v
+			}
+			return true
+		})
+		memo[s.key()] = best
+		return best
+	}
+	total := solve(start)
+	// Reconstruct a schedule by re-walking the DP greedily.
+	sched := &Schedule{}
+	cur := append(state(nil), start...)
+	for t := 0; t < total; t++ {
+		el := eligible(j, cur)
+		m := inst.K
+		if m > len(el) {
+			m = len(el)
+		}
+		var chosen []int
+		subsets(el, m, func(run []int) bool {
+			next := append(state(nil), cur...)
+			for _, id := range run {
+				next[id]--
+			}
+			if 1+solve(next) == solve(cur) {
+				chosen = append([]int(nil), run...)
+				return false
+			}
+			return true
+		})
+		sort.Ints(chosen)
+		sched.Slots = append(sched.Slots, chosen)
+		for _, id := range chosen {
+			cur[id]--
+		}
+	}
+	return sched, nil
+}
+
+// COpt computes a carbon-optimal schedule finishing within the deadline:
+// it minimizes the summed intensity of all stage-slots, idling machines
+// through expensive hours whenever the remaining slack allows. The DP is
+// over (slot, state); a T-OPT residual bound prunes states that can no
+// longer meet the deadline.
+func COpt(inst Instance) (*Schedule, error) {
+	durs, err := durations(inst)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Deadline < 1 {
+		return nil, fmt.Errorf("optimal: C-OPT requires a positive deadline")
+	}
+	j := inst.Job
+	start := make(state, len(durs))
+	for i, d := range durs {
+		start[i] = uint8(d)
+	}
+	// Residual makespan lower bound via the T-OPT DP.
+	residualMemo := map[string]int{}
+	var residual func(s state) int
+	residual = func(s state) int {
+		done := true
+		for _, r := range s {
+			if r != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return 0
+		}
+		if v, ok := residualMemo[s.key()]; ok {
+			return v
+		}
+		residualMemo[s.key()] = 1 << 20
+		el := eligible(j, s)
+		m := inst.K
+		if m > len(el) {
+			m = len(el)
+		}
+		best := 1 << 20
+		subsets(el, m, func(run []int) bool {
+			next := append(state(nil), s...)
+			for _, id := range run {
+				next[id]--
+			}
+			if v := 1 + residual(next); v < best {
+				best = v
+			}
+			return true
+		})
+		residualMemo[s.key()] = best
+		return best
+	}
+	if residual(start) > inst.Deadline {
+		return nil, ErrInfeasible
+	}
+
+	type tkey struct {
+		t int
+		k string
+	}
+	memo := map[tkey]float64{}
+	const inf = math.MaxFloat64 / 4
+	var solve func(t int, s state) float64
+	solve = func(t int, s state) float64 {
+		done := true
+		for _, r := range s {
+			if r != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return 0
+		}
+		if residual(s) > inst.Deadline-t {
+			return inf
+		}
+		key := tkey{t, s.key()}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		memo[key] = inf
+		el := eligible(j, s)
+		maxRun := inst.K
+		if maxRun > len(el) {
+			maxRun = len(el)
+		}
+		price := carbonAt(inst.Carbon, t)
+		best := inf
+		// Consider every run-count from 0 (idle the slot) to maxRun.
+		for m := 0; m <= maxRun; m++ {
+			subsets(el, m, func(run []int) bool {
+				next := append(state(nil), s...)
+				for _, id := range run {
+					next[id]--
+				}
+				cost := price*float64(m) + solve(t+1, next)
+				if cost < best {
+					best = cost
+				}
+				return true
+			})
+		}
+		memo[key] = best
+		return best
+	}
+	total := solve(0, start)
+	if total >= inf {
+		return nil, ErrInfeasible
+	}
+	// Reconstruct.
+	sched := &Schedule{}
+	cur := append(state(nil), start...)
+	for t := 0; ; t++ {
+		done := true
+		for _, r := range cur {
+			if r != 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		el := eligible(j, cur)
+		maxRun := inst.K
+		if maxRun > len(el) {
+			maxRun = len(el)
+		}
+		price := carbonAt(inst.Carbon, t)
+		var chosen []int
+		found := false
+		for m := 0; m <= maxRun && !found; m++ {
+			subsets(el, m, func(run []int) bool {
+				next := append(state(nil), cur...)
+				for _, id := range run {
+					next[id]--
+				}
+				if math.Abs(price*float64(m)+solve(t+1, next)-solve(t, cur)) < 1e-9 {
+					chosen = append([]int(nil), run...)
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		sort.Ints(chosen)
+		sched.Slots = append(sched.Slots, chosen)
+		for _, id := range chosen {
+			cur[id]--
+		}
+	}
+	return sched, nil
+}
+
+// ListSchedule produces the greedy carbon-agnostic FIFO baseline: at each
+// slot, run the lowest-ID eligible stages up to K. It is the slotted
+// analogue of Spark's FIFO stage order and Graham list scheduling.
+func ListSchedule(inst Instance) (*Schedule, error) {
+	durs, err := durations(inst)
+	if err != nil {
+		return nil, err
+	}
+	cur := make(state, len(durs))
+	for i, d := range durs {
+		cur[i] = uint8(d)
+	}
+	sched := &Schedule{}
+	for {
+		el := eligible(inst.Job, cur)
+		if len(el) == 0 {
+			break
+		}
+		m := inst.K
+		if m > len(el) {
+			m = len(el)
+		}
+		run := el[:m]
+		sched.Slots = append(sched.Slots, append([]int(nil), run...))
+		for _, id := range run {
+			cur[id]--
+		}
+	}
+	return sched, nil
+}
+
+// Validate checks a schedule against the instance: capacity, precedence,
+// and completion. It returns nil for a feasible complete schedule.
+func Validate(inst Instance, s *Schedule) error {
+	durs, err := durations(inst)
+	if err != nil {
+		return err
+	}
+	rem := append([]int(nil), durs...)
+	for t, ids := range s.Slots {
+		if len(ids) > inst.K {
+			return fmt.Errorf("optimal: slot %d runs %d > K stages", t, len(ids))
+		}
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if id < 0 || id >= len(rem) {
+				return fmt.Errorf("optimal: slot %d has unknown stage %d", t, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("optimal: slot %d runs stage %d twice", t, id)
+			}
+			seen[id] = true
+			if rem[id] <= 0 {
+				return fmt.Errorf("optimal: stage %d runs past completion at slot %d", id, t)
+			}
+			for _, p := range inst.Job.Stages[id].Parents {
+				if rem[p] > 0 {
+					return fmt.Errorf("optimal: stage %d runs before parent %d finished (slot %d)", id, p, t)
+				}
+			}
+		}
+		for _, id := range ids {
+			rem[id]--
+		}
+	}
+	for id, r := range rem {
+		if r > 0 {
+			return fmt.Errorf("optimal: stage %d incomplete (%d slots left)", id, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package optimal
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pcaps/internal/dag"
+)
+
+// unitStage builds jobs whose stages all have NumTasks = 1.
+func toyJob(t testing.TB) *dag.Job {
+	t.Helper()
+	// 0(2) → 1(1), 0 → 2(3), {1,2} → 3(1)
+	b := dag.NewBuilder(0, "toy")
+	s0 := b.Stage("", 1, 2)
+	s1 := b.Stage("", 1, 1)
+	s2 := b.Stage("", 1, 3)
+	s3 := b.Stage("", 1, 1)
+	b.Edge(s0, s1).Edge(s0, s2).Edge(s1, s3).Edge(s2, s3)
+	return b.MustBuild()
+}
+
+func flat(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestTOptToy(t *testing.T) {
+	// Critical path: 2 + 3 + 1 = 6 slots; K=2 suffices to hit it.
+	inst := Instance{Job: toyJob(t), K: 2, Carbon: flat(20, 100)}
+	s, err := TOpt(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 6 {
+		t.Fatalf("T-OPT makespan = %d, want 6", s.Makespan())
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTOptSingleMachine(t *testing.T) {
+	// One machine: makespan equals total work (7 slots).
+	inst := Instance{Job: toyJob(t), K: 1, Carbon: flat(20, 100)}
+	s, err := TOpt(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 7 {
+		t.Fatalf("K=1 makespan = %d, want 7", s.Makespan())
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOptDefersToCheapSlots(t *testing.T) {
+	// Carbon: expensive first 6 slots, cheap afterwards. With a loose
+	// deadline C-OPT shifts work into the cheap region; with a tight
+	// deadline it must pay the expensive slots.
+	carbon := append(flat(6, 500), flat(14, 50)...)
+	j := toyJob(t)
+	tight := Instance{Job: j, K: 2, Carbon: carbon, Deadline: 6}
+	st, err := COpt(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tight, st); err != nil {
+		t.Fatal(err)
+	}
+	loose := Instance{Job: j, K: 2, Carbon: carbon, Deadline: 13}
+	sl, err := COpt(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(loose, sl); err != nil {
+		t.Fatal(err)
+	}
+	ct, cl := st.CarbonCost(carbon), sl.CarbonCost(carbon)
+	if cl >= ct {
+		t.Fatalf("loose deadline carbon %v not below tight %v", cl, ct)
+	}
+	// 7 work slots all in the cheap region: 7·50.
+	if cl != 7*50 {
+		t.Fatalf("loose C-OPT carbon = %v, want 350", cl)
+	}
+	if sl.Makespan() > 13 {
+		t.Fatalf("C-OPT exceeded deadline: %d", sl.Makespan())
+	}
+}
+
+func TestCOptInfeasibleDeadline(t *testing.T) {
+	inst := Instance{Job: toyJob(t), K: 2, Carbon: flat(20, 100), Deadline: 5}
+	if _, err := COpt(inst); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestCOptMatchesTOptCostOnFlatCarbon(t *testing.T) {
+	// On flat carbon every complete schedule costs work·c; C-OPT's cost
+	// must equal that and it must still meet the deadline.
+	inst := Instance{Job: toyJob(t), K: 2, Carbon: flat(20, 100), Deadline: 10}
+	s, err := COpt(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CarbonCost(inst.Carbon); got != 700 {
+		t.Fatalf("flat carbon cost = %v, want 700", got)
+	}
+}
+
+func TestListScheduleFeasible(t *testing.T) {
+	inst := Instance{Job: toyJob(t), K: 2, Carbon: flat(20, 100)}
+	s, err := ListSchedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(inst, s); err != nil {
+		t.Fatal(err)
+	}
+	topt, err := TOpt(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() < topt.Makespan() {
+		t.Fatalf("list schedule (%d) beat T-OPT (%d)", s.Makespan(), topt.Makespan())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	inst := Instance{Job: toyJob(t), K: 2, Carbon: flat(20, 100)}
+	// Capacity violation.
+	bad := &Schedule{Slots: [][]int{{0, 1, 2}}}
+	if err := Validate(inst, bad); err == nil {
+		t.Fatal("capacity violation accepted")
+	}
+	// Precedence violation: stage 1 before 0 completes.
+	bad = &Schedule{Slots: [][]int{{0, 1}}}
+	if err := Validate(inst, bad); err == nil {
+		t.Fatal("precedence violation accepted")
+	}
+	// Incomplete schedule.
+	bad = &Schedule{Slots: [][]int{{0}}}
+	if err := Validate(inst, bad); err == nil {
+		t.Fatal("incomplete schedule accepted")
+	}
+}
+
+func TestRejectsMultiTaskStages(t *testing.T) {
+	b := dag.NewBuilder(0, "wide")
+	b.Stage("", 4, 1)
+	inst := Instance{Job: b.MustBuild(), K: 2, Carbon: flat(5, 100)}
+	if _, err := TOpt(inst); !errors.Is(err, ErrBadJob) {
+		t.Fatalf("err = %v, want ErrBadJob", err)
+	}
+}
+
+func TestRejectsHugeInstances(t *testing.T) {
+	b := dag.NewBuilder(0, "huge")
+	for i := 0; i < 16; i++ {
+		b.Stage("", 1, 9)
+	}
+	inst := Instance{Job: b.MustBuild(), K: 2, Carbon: flat(5, 100)}
+	if _, err := TOpt(inst); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// randomUnitJob builds a small random DAG with unit-task stages.
+func randomUnitJob(r *rand.Rand) *dag.Job {
+	n := 2 + r.Intn(5)
+	b := dag.NewBuilder(0, "rand")
+	for i := 0; i < n; i++ {
+		b.Stage("", 1, float64(1+r.Intn(3)))
+	}
+	for c := 1; c < n; c++ {
+		for p := 0; p < c; p++ {
+			if r.Float64() < 0.3 {
+				b.Edge(p, c)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestQuickTOptBounds(t *testing.T) {
+	// T-OPT lies between the critical path and total work, and beats or
+	// ties list scheduling.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		j := randomUnitJob(r)
+		k := 1 + r.Intn(3)
+		inst := Instance{Job: j, K: k, Carbon: flat(40, 100)}
+		topt, err := TOpt(inst)
+		if err != nil {
+			return false
+		}
+		if Validate(inst, topt) != nil {
+			return false
+		}
+		ls, err := ListSchedule(inst)
+		if err != nil {
+			return false
+		}
+		cp := int(j.CriticalPathLength())
+		work := int(j.TotalWork())
+		m := topt.Makespan()
+		return m >= cp && m <= work && m <= ls.Makespan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCOptNeverWorseThanList(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		j := randomUnitJob(r)
+		k := 1 + r.Intn(3)
+		carbon := make([]float64, 40)
+		for i := range carbon {
+			carbon[i] = 50 + r.Float64()*500
+		}
+		ls, err := ListSchedule(Instance{Job: j, K: k, Carbon: carbon})
+		if err != nil {
+			return false
+		}
+		inst := Instance{Job: j, K: k, Carbon: carbon, Deadline: ls.Makespan() + 8}
+		copt, err := COpt(inst)
+		if err != nil {
+			return false
+		}
+		if Validate(inst, copt) != nil {
+			return false
+		}
+		return copt.CarbonCost(carbon) <= ls.CarbonCost(carbon)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcaps/internal/core"
+	"pcaps/internal/sim"
+)
+
+// boundsKey caches threshold structures per forecast window; thresholds
+// only change when the (L, U) forecast changes.
+type boundsKey struct{ l, u float64 }
+
+// CAPWrap applies CAP (§4.2) on top of any carbon-agnostic scheduler: a
+// quota r(t) from the k-search thresholds gates new executor assignments
+// (no preemption), and the inner scheduler's parallelism limit is scaled
+// by r(t)/K (§5.1).
+type CAPWrap struct {
+	// Inner is the wrapped carbon-agnostic scheduler.
+	Inner sim.Scheduler
+	// B is the minimum machine quota guaranteeing progress.
+	B int
+
+	caps     map[boundsKey]*core.CAP
+	minQuota int
+}
+
+// NewCAP wraps inner with a CAP provisioner using minimum quota b.
+func NewCAP(inner sim.Scheduler, b int) *CAPWrap {
+	return &CAPWrap{Inner: inner, B: b, caps: map[boundsKey]*core.CAP{}, minQuota: math.MaxInt}
+}
+
+// Name implements sim.Scheduler.
+func (w *CAPWrap) Name() string { return fmt.Sprintf("CAP-%s", w.Inner.Name()) }
+
+// MinQuotaSeen returns M(B,c) over the run (math.MaxInt before any Pick).
+func (w *CAPWrap) MinQuotaSeen() int { return w.minQuota }
+
+// provisioner returns the CAP instance for the current forecast window.
+func (w *CAPWrap) provisioner(c *sim.Cluster) *core.CAP {
+	l, u := c.CarbonBounds()
+	if l <= 0 {
+		l = 1e-3
+	}
+	if u < l {
+		u = l
+	}
+	key := boundsKey{l, u}
+	if p, ok := w.caps[key]; ok {
+		return p
+	}
+	b := w.B
+	if b < 1 {
+		b = 1
+	}
+	if b > c.K() {
+		b = c.K()
+	}
+	p, err := core.NewCAP(c.K(), b, l, u)
+	if err != nil {
+		// Inputs are sanitized above; treat failure as carbon-agnostic.
+		p, _ = core.NewCAP(c.K(), c.K(), l, u)
+	}
+	w.caps[key] = p
+	return p
+}
+
+// Pick implements sim.Scheduler.
+func (w *CAPWrap) Pick(c *sim.Cluster) sim.Decision {
+	p := w.provisioner(c)
+	quota := p.Quota(c.Carbon())
+	if quota < w.minQuota {
+		w.minQuota = quota
+	}
+	headroom := quota - c.BusyCount()
+	if headroom <= 0 {
+		return sim.DeferDecision
+	}
+	d := w.Inner.Pick(c)
+	if d.Defer || d.Ref.Stage == nil {
+		return d
+	}
+	planned := d.Limit
+	if planned < 1 || planned > d.Ref.Stage.Stage.NumTasks {
+		planned = d.Ref.Stage.Stage.NumTasks
+	}
+	d.Limit = p.ParallelismLimit(planned, c.Carbon())
+	if d.MaxNew < 1 || d.MaxNew > headroom {
+		d.MaxNew = headroom
+	}
+	return d
+}
+
+// PCAPS is the paper's primary contribution (§4.1, Alg. 1): a carbon-
+// awareness filter over a probabilistic scheduler. At each scheduling
+// event it samples a stage from the inner distribution, computes its
+// relative importance r (Def. 4.2), and schedules it iff Ψγ(r) ≥ c(t) or
+// no machine is busy; otherwise the cluster idles until the next event.
+// Scheduled stages get the carbon-scaled parallelism limit of §5.1.
+type PCAPS struct {
+	// PB is the wrapped probabilistic scheduler.
+	PB Probabilistic
+	// Gamma is the carbon-awareness knob γ ∈ [0,1].
+	Gamma float64
+	// Seed drives stage sampling.
+	Seed int64
+
+	psis map[boundsKey]*core.Psi
+	rng  *rand.Rand
+}
+
+// NewPCAPS wraps a probabilistic scheduler with carbon-awareness γ.
+func NewPCAPS(pb Probabilistic, gamma float64, seed int64) *PCAPS {
+	return &PCAPS{PB: pb, Gamma: gamma, Seed: seed, psis: map[boundsKey]*core.Psi{}}
+}
+
+// Name implements sim.Scheduler.
+func (p *PCAPS) Name() string { return "PCAPS" }
+
+// psi returns the threshold function for the current forecast window.
+func (p *PCAPS) psi(c *sim.Cluster) *core.Psi {
+	l, u := c.CarbonBounds()
+	if l <= 0 {
+		l = 1e-3
+	}
+	if u < l {
+		u = l
+	}
+	key := boundsKey{l, u}
+	if ps, ok := p.psis[key]; ok {
+		return ps
+	}
+	ps, err := core.NewPsi(p.Gamma, l, u)
+	if err != nil {
+		ps, _ = core.NewPsi(0, l, u) // sanitized inputs; fall back to agnostic
+	}
+	p.psis[key] = ps
+	return ps
+}
+
+// Pick implements sim.Scheduler (Alg. 1 lines 4-10).
+func (p *PCAPS) Pick(c *sim.Cluster) sim.Decision {
+	refs, probs := p.PB.Distribution(c)
+	if len(refs) == 0 {
+		return sim.DeferDecision
+	}
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	v := sampleIndex(p.rng, probs)
+	r := core.RelativeImportance(probs, v)
+	psi := p.psi(c)
+	if !psi.Admits(r, c.Carbon()) && c.BusyCount() > 0 {
+		c.NoteDeferral(refs[v])
+		return sim.DeferDecision
+	}
+	planned := p.PB.PlannedLimit(c, refs[v])
+	return sim.Decision{Ref: refs[v], Limit: psi.ParallelismLimit(planned, c.Carbon())}
+}
+
+func sampleIndex(rng *rand.Rand, probs []float64) int {
+	x := rng.Float64()
+	var cum float64
+	for i, pr := range probs {
+		cum += pr
+		if x < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

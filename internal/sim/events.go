@@ -1,0 +1,60 @@
+package sim
+
+import "container/heap"
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evTaskDone
+	evCarbon
+	evHoldExpire
+)
+
+// event is one entry in the simulation's future-event list.
+type event struct {
+	at   float64
+	kind eventKind
+	job  *JobRun   // evArrival
+	exec *executor // evTaskDone
+	seq  int       // tiebreaker for deterministic ordering
+}
+
+// eventHeap is a min-heap on (at, seq). The sequence number makes
+// simultaneous events process in insertion order, which keeps runs
+// bit-for-bit reproducible.
+type eventHeap struct {
+	items []event
+	seq   int
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) Less(i, j int) bool {
+	if h.items[i].at != h.items[j].at {
+		return h.items[i].at < h.items[j].at
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *eventHeap) Push(x any) { h.items = append(h.items, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func (c *Cluster) push(ev event) {
+	ev.seq = c.events.seq
+	c.events.seq++
+	heap.Push(&c.events, ev)
+}
+
+func (c *Cluster) pop() event {
+	return heap.Pop(&c.events).(event)
+}

@@ -1,0 +1,719 @@
+// Package sim is a discrete-event simulator of a Spark-style data
+// processing cluster, modeled on the simulator of Mao et al. [48] that the
+// paper extends (§5.2). It captures the first-order effects that matter to
+// carbon-aware scheduling: per-stage task waves, per-stage parallelism
+// limits, executor hand-off delays between jobs, per-job executor caps
+// (the prototype's Kubernetes behaviour, Appendix A.1.2), and scheduling
+// events on job arrivals, task completions, executor idling, and every
+// carbon-intensity boundary (Alg. 1 line 2).
+//
+// Carbon accounting is ex post facto as in §5.2: busy executor-seconds are
+// accumulated per carbon interval while the simulation runs and converted
+// to gCO2eq afterwards, so accounting never perturbs scheduling.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/dag"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// NumExecutors is K, the number of machines.
+	NumExecutors int
+	// Trace is the carbon-intensity signal. Required.
+	Trace *carbon.Trace
+	// ForecastHorizon is the lookahead window, in experiment seconds,
+	// over which the schedulers' L and U bounds are computed. The paper
+	// uses 48 grid-hours; at the 1-min = 1-h scaling that is 48 samples.
+	// Zero selects 48 trace intervals.
+	ForecastHorizon float64
+	// Forecaster supplies the (L, U) bounds; nil selects the paper's
+	// oracle assumption (exact window extremes). Use
+	// carbon.Persistence to study operation under realistic,
+	// history-only forecasts.
+	Forecaster carbon.Forecaster
+	// MoveDelay is the executor hand-off latency in seconds incurred
+	// when an executor switches to a different job (Spark executor
+	// movement, §5.2). Within-job stage switches are free.
+	MoveDelay float64
+	// PerJobCap bounds the executors simultaneously assigned to one job;
+	// 0 means unlimited. The paper's prototype uses 25 (§6.3).
+	PerJobCap int
+	// HoldExecutors models executor retention (Appendix A.1.2): an
+	// executor granted to a job stays with that job — consuming
+	// resources and emitting carbon — while it has no task to run, until
+	// either the job completes or the executor has idled for
+	// IdleTimeout (Spark's executorIdleTimeout). Retained executors
+	// serve their job's newly runnable stages directly (the
+	// in-application FIFO). This is the mechanism behind standalone
+	// FIFO's blocking and its worse carbon footprint relative to
+	// schedulers that actively manage executor placement (Fig. 15).
+	HoldExecutors bool
+	// IdleTimeout is the retention window in seconds for HoldExecutors
+	// mode; 0 selects Spark's default of 60 s, negative values hold for
+	// the job's whole lifetime (standalone mode without dynamic
+	// allocation).
+	IdleTimeout float64
+	// DurationJitter is the relative standard deviation of task
+	// durations (0 = deterministic).
+	DurationJitter float64
+	// FailureRate is the probability that a task attempt fails and is
+	// retried on the same executor (transient failure injection; the
+	// lost attempt still consumed executor time and carbon). Must be in
+	// [0, 0.9].
+	FailureRate float64
+	// Seed drives task-duration jitter and failure injection.
+	Seed int64
+	// MaxEvents bounds the event loop as a hang guard; 0 selects a
+	// generous default.
+	MaxEvents int
+	// TrackJobUsage additionally records each job's busy
+	// executor-seconds per carbon interval (Result.JobUsage) — the
+	// per-job shading of the paper's occupancy plots (Fig. 6).
+	TrackJobUsage bool
+}
+
+// StageRun is the runtime state of one stage of one job.
+type StageRun struct {
+	Stage *dag.Stage
+	// Dispatched and Completed count tasks handed to executors and
+	// finished, respectively.
+	Dispatched, Completed int
+	// Running is the number of executors currently bound to the stage.
+	Running int
+	// Limit is the parallelism limit in force, set each time a
+	// scheduler (re)selects the stage. 0 means not yet scheduled.
+	Limit int
+	// ParentsLeft counts incomplete parent stages; the stage is
+	// runnable when it reaches 0.
+	ParentsLeft int
+}
+
+// Runnable reports whether the stage can accept a new executor under its
+// current limit.
+func (s *StageRun) Runnable() bool {
+	return s.ParentsLeft == 0 && s.Dispatched < s.Stage.NumTasks
+}
+
+// RemainingTasks returns the number of undispatched tasks.
+func (s *StageRun) RemainingTasks() int { return s.Stage.NumTasks - s.Dispatched }
+
+// JobRun is the runtime state of one job.
+type JobRun struct {
+	Job    *dag.Job
+	Stages []*StageRun
+	// StagesDone counts completed stages.
+	StagesDone int
+	// Executors counts executors currently bound to the job.
+	Executors int
+	// Arrived reports whether the job's arrival event has fired.
+	Arrived bool
+	// index is the job's position in the batch, for usage attribution.
+	index int
+	// Done reports completion; CompletedAt is its timestamp.
+	Done        bool
+	CompletedAt float64
+	// CarbonGrams accumulates the job's attributed carbon footprint.
+	CarbonGrams float64
+}
+
+// RemainingWork returns the job's undone work in executor-seconds,
+// counting both undispatched and in-flight tasks.
+func (j *JobRun) RemainingWork() float64 {
+	var w float64
+	for _, s := range j.Stages {
+		w += float64(s.Stage.NumTasks-s.Completed) * s.Stage.TaskDuration
+	}
+	return w
+}
+
+// StageRef identifies a runnable stage to a scheduler.
+type StageRef struct {
+	Job   *JobRun
+	Stage *StageRun
+}
+
+// Decision is a scheduler's answer to one Pick call.
+type Decision struct {
+	// Ref is the stage to receive executors. Meaningless when Defer.
+	Ref StageRef
+	// Limit is the parallelism limit to apply to the stage (maximum
+	// concurrent executors). Values < 1 mean "no limit" (the standalone
+	// FIFO over-assignment behaviour of Appendix A.1.2).
+	Limit int
+	// MaxNew bounds how many executors this single decision may bind;
+	// values < 1 mean unbounded. CAP uses it to enforce its quota
+	// without preempting running work.
+	MaxNew int
+	// Defer stops all further assignment until the next scheduling
+	// event, idling the remaining free executors (Alg. 1 line 10).
+	Defer bool
+}
+
+// DeferDecision is the Decision that idles the cluster until the next
+// scheduling event.
+var DeferDecision = Decision{Defer: true}
+
+// Scheduler chooses stages for idle executors. Pick is invoked repeatedly
+// during a scheduling event while idle executors and runnable stages
+// remain; returning Defer ends the event.
+type Scheduler interface {
+	Name() string
+	Pick(c *Cluster) Decision
+}
+
+// executor is one machine.
+type executor struct {
+	id   int
+	busy bool
+	// job / stage the executor is bound to; nil when idle.
+	job   *JobRun
+	stage *StageRun
+	// reserved is the job holding this executor between tasks in
+	// HoldExecutors mode; nil otherwise. holdExpire is the time the
+	// current reservation lapses.
+	reserved   *JobRun
+	holdExpire float64
+	// lastJob remembers the previous binding for move-delay accounting.
+	lastJob *JobRun
+}
+
+// Cluster is the simulation state exposed to schedulers.
+type Cluster struct {
+	cfg    Config
+	clock  float64
+	execs  []*executor
+	jobs   []*JobRun
+	events eventHeap
+	rng    *rand.Rand
+	// busyCount counts executors running a task; activeCount adds the
+	// executors a job merely holds (HoldExecutors mode). Carbon and
+	// quota decisions see activeCount — held executors burn power.
+	busyCount   int
+	activeCount int
+
+	// usage[i] is busy executor-seconds accumulated during carbon
+	// interval i.
+	usage []float64
+	// deferrals and deferredWork record PCAPS-style filter activity,
+	// reported by wrapping schedulers through NoteDeferral.
+	deferrals    int
+	deferredWork float64
+	// retries counts failed task attempts (failure injection).
+	retries int
+	// jobUsage mirrors usage per job when Config.TrackJobUsage is set.
+	jobUsage [][]float64
+}
+
+// Now returns the simulation clock in experiment seconds.
+func (c *Cluster) Now() float64 { return c.clock }
+
+// Carbon returns the current carbon intensity.
+func (c *Cluster) Carbon() float64 { return c.cfg.Trace.At(c.clock) }
+
+// CarbonBounds returns the forecast bounds (L, U) over the configured
+// lookahead window starting now, from the configured forecaster (oracle
+// by default, per the paper's assumption).
+func (c *Cluster) CarbonBounds() (lo, hi float64) {
+	if c.cfg.Forecaster != nil {
+		return c.cfg.Forecaster.Bounds(c.cfg.Trace, c.clock, c.cfg.ForecastHorizon)
+	}
+	return c.cfg.Trace.Bounds(c.clock, c.cfg.ForecastHorizon)
+}
+
+// GreenFraction returns the local renewable (solar) capacity fraction now
+// — the signal GreenHadoop schedules against.
+func (c *Cluster) GreenFraction() float64 { return c.cfg.Trace.SolarFraction(c.clock) }
+
+// GreenFractionAt returns the green fraction at an arbitrary future time
+// (GreenHadoop plans over a window).
+func (c *Cluster) GreenFractionAt(sec float64) float64 { return c.cfg.Trace.SolarFraction(sec) }
+
+// CarbonInterval returns the trace sampling interval in seconds.
+func (c *Cluster) CarbonInterval() float64 { return c.cfg.Trace.Interval }
+
+// K returns the cluster size.
+func (c *Cluster) K() int { return c.cfg.NumExecutors }
+
+// BusyCount returns the number of executors consuming cluster resources:
+// those running a task plus those held by a job between tasks in
+// HoldExecutors mode. This is the E(t) of the paper's carbon model and the
+// count CAP's quota gates on.
+func (c *Cluster) BusyCount() int { return c.activeCount }
+
+// RunningCount returns only the executors actually executing a task.
+func (c *Cluster) RunningCount() int { return c.busyCount }
+
+// IdleCount returns the number of executors in the shared free pool.
+func (c *Cluster) IdleCount() int { return len(c.execs) - c.activeCount }
+
+// Jobs returns all jobs in arrival order (including future and finished
+// ones; check Arrived/Done).
+func (c *Cluster) Jobs() []*JobRun { return c.jobs }
+
+// ActiveJobs returns arrived, incomplete jobs in arrival order.
+func (c *Cluster) ActiveJobs() []*JobRun {
+	var out []*JobRun
+	for _, j := range c.jobs {
+		if j.Arrived && !j.Done {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Runnable returns references to every stage that can accept work:
+// arrived job, all parents complete, undispatched tasks remaining, and
+// per-job cap not exhausted. Order is deterministic (job arrival order,
+// then stage ID).
+func (c *Cluster) Runnable() []StageRef {
+	var out []StageRef
+	for _, j := range c.jobs {
+		if !j.Arrived || j.Done {
+			continue
+		}
+		if c.cfg.PerJobCap > 0 && j.Executors >= c.cfg.PerJobCap {
+			continue
+		}
+		for _, s := range j.Stages {
+			if s.Runnable() {
+				out = append(out, StageRef{Job: j, Stage: s})
+			}
+		}
+	}
+	return out
+}
+
+// OutstandingWork returns total undone work across active jobs, in
+// executor-seconds.
+func (c *Cluster) OutstandingWork() float64 {
+	var w float64
+	for _, j := range c.ActiveJobs() {
+		w += j.RemainingWork()
+	}
+	return w
+}
+
+// NoteDeferral lets carbon-aware wrapper schedulers record a filtered
+// (deferred) stage so that the run report can estimate D(γ,c).
+func (c *Cluster) NoteDeferral(ref StageRef) {
+	c.deferrals++
+	if ref.Stage != nil {
+		c.deferredWork += float64(ref.Stage.RemainingTasks()) * ref.Stage.Stage.TaskDuration
+	}
+}
+
+// errNoProgress guards against schedulers that return saturated stages.
+var errNoProgress = errors.New("sim: scheduler made no progress")
+
+// Result summarizes one run.
+type Result struct {
+	Scheduler string
+	// ECT is the end-to-end completion time: the time the last job
+	// finishes (experiments start at 0).
+	ECT float64
+	// AvgJCT is the mean job completion time (completion − arrival).
+	AvgJCT float64
+	// JCTs holds each job's completion time, indexed as cfg jobs.
+	JCTs []float64
+	// CarbonGrams is the total carbon footprint in gCO2eq assuming 1 kW
+	// per busy executor.
+	CarbonGrams float64
+	// JobCarbon holds each job's attributed footprint in gCO2eq.
+	JobCarbon []float64
+	// Usage is busy executor-seconds per carbon interval (the timeline
+	// consumed by core.DecomposeSavings).
+	Usage []float64
+	// JobUsage, when Config.TrackJobUsage is set, holds each job's busy
+	// executor-seconds per carbon interval (rows index jobs as given).
+	JobUsage [][]float64
+	// Deferrals and DeferredWork report carbon-filter activity.
+	Deferrals    int
+	DeferredWork float64
+	// TaskRetries counts failed task attempts that were retried.
+	TaskRetries int
+	// TotalWork is the batch's total work in executor-seconds.
+	TotalWork float64
+	// Events is the number of processed simulation events.
+	Events int
+}
+
+// Run simulates the batch of jobs under the scheduler until every job
+// completes, returning the run summary. Jobs are deep-copied so templates
+// can be reused across runs.
+func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
+	if cfg.Trace == nil {
+		return nil, errors.New("sim: config requires a carbon trace")
+	}
+	if cfg.NumExecutors < 1 {
+		return nil, fmt.Errorf("sim: need at least one executor, got %d", cfg.NumExecutors)
+	}
+	if len(jobs) == 0 {
+		return nil, errors.New("sim: no jobs")
+	}
+	if cfg.ForecastHorizon <= 0 {
+		cfg.ForecastHorizon = 48 * cfg.Trace.Interval
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 20_000_000
+	}
+	if cfg.FailureRate < 0 || cfg.FailureRate > 0.9 {
+		return nil, fmt.Errorf("sim: failure rate %v outside [0, 0.9]", cfg.FailureRate)
+	}
+
+	c := &Cluster{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for i := 0; i < cfg.NumExecutors; i++ {
+		c.execs = append(c.execs, &executor{id: i})
+	}
+	if cfg.TrackJobUsage {
+		c.jobUsage = make([][]float64, len(jobs))
+	}
+	var totalWork float64
+	for idx, tpl := range jobs {
+		if err := tpl.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: job %d: %w", tpl.ID, err)
+		}
+		j := tpl.Clone()
+		run := &JobRun{Job: j, Stages: make([]*StageRun, len(j.Stages)), index: idx}
+		for i, st := range j.Stages {
+			run.Stages[i] = &StageRun{Stage: st, ParentsLeft: len(st.Parents)}
+		}
+		c.jobs = append(c.jobs, run)
+		totalWork += j.TotalWork()
+		c.push(event{at: j.Arrival, kind: evArrival, job: run})
+	}
+	// Seed carbon-boundary events lazily: push the first boundary; each
+	// handler pushes the next. This keeps the heap small on long traces.
+	if next := cfg.Trace.NextChange(0); !math.IsInf(next, 1) {
+		c.push(event{at: next, kind: evCarbon})
+	}
+
+	events := 0
+	for c.events.Len() > 0 {
+		events++
+		if events > cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: exceeded %d events (scheduler livelock?)", cfg.MaxEvents)
+		}
+		ev := c.pop()
+		c.advance(ev.at)
+		switch ev.kind {
+		case evArrival:
+			ev.job.Arrived = true
+		case evTaskDone:
+			c.completeTask(ev.exec)
+		case evCarbon:
+			if next := cfg.Trace.NextChange(c.clock); !math.IsInf(next, 1) && c.unfinished() {
+				c.push(event{at: next, kind: evCarbon})
+			}
+		case evHoldExpire:
+			c.expireHold(ev.exec)
+		}
+		if err := c.schedule(s); err != nil {
+			return nil, err
+		}
+		if !c.unfinished() && c.noTaskPending() {
+			break
+		}
+	}
+
+	res := &Result{
+		Scheduler:    s.Name(),
+		Usage:        c.usage,
+		JobUsage:     c.jobUsage,
+		Deferrals:    c.deferrals,
+		DeferredWork: c.deferredWork,
+		TaskRetries:  c.retries,
+		TotalWork:    totalWork,
+		Events:       events,
+	}
+	var sumJCT float64
+	for _, j := range c.jobs {
+		if !j.Done {
+			return nil, fmt.Errorf("sim: job %d did not complete", j.Job.ID)
+		}
+		jct := j.CompletedAt - j.Job.Arrival
+		res.JCTs = append(res.JCTs, jct)
+		res.JobCarbon = append(res.JobCarbon, j.CarbonGrams)
+		sumJCT += jct
+		if j.CompletedAt > res.ECT {
+			res.ECT = j.CompletedAt
+		}
+	}
+	res.AvgJCT = sumJCT / float64(len(c.jobs))
+	for i, u := range c.usage {
+		res.CarbonGrams += u * c.cfg.Trace.Values[min(i, len(c.cfg.Trace.Values)-1)] / 3600
+	}
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// unfinished reports whether any job is incomplete.
+func (c *Cluster) unfinished() bool {
+	for _, j := range c.jobs {
+		if !j.Done {
+			return true
+		}
+	}
+	return false
+}
+
+// noTaskPending reports whether no task-completion events remain.
+func (c *Cluster) noTaskPending() bool { return c.busyCount == 0 }
+
+// advance moves the clock to t, accumulating busy executor-seconds into
+// the per-carbon-interval usage timeline and per-job carbon attribution.
+func (c *Cluster) advance(t float64) {
+	if t <= c.clock {
+		c.clock = math.Max(c.clock, t)
+		return
+	}
+	tr := c.cfg.Trace
+	cur := c.clock
+	for cur < t {
+		next := tr.NextChange(cur)
+		if next > t {
+			next = t
+		}
+		span := next - cur
+		if c.activeCount > 0 && span > 0 {
+			idx := tr.Index(cur)
+			for len(c.usage) <= idx {
+				c.usage = append(c.usage, 0)
+			}
+			c.usage[idx] += float64(c.activeCount) * span
+			grams := tr.At(cur) * span / 3600
+			for _, e := range c.execs {
+				j := e.job
+				if !e.busy {
+					j = e.reserved
+				}
+				if j == nil {
+					continue
+				}
+				j.CarbonGrams += grams
+				if c.jobUsage != nil {
+					row := c.jobUsage[j.index]
+					for len(row) <= idx {
+						row = append(row, 0)
+					}
+					row[idx] += span
+					c.jobUsage[j.index] = row
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			break
+		}
+		cur = next
+	}
+	c.clock = t
+}
+
+// schedule runs the assignment loop for the current event: first let
+// job-held executors serve their own jobs (HoldExecutors mode), then
+// repeatedly ask the scheduler for a stage and bind idle executors to it,
+// until the scheduler defers, no executors are idle, or nothing is
+// runnable.
+func (c *Cluster) schedule(s Scheduler) error {
+	if c.cfg.HoldExecutors {
+		c.dispatchReserved()
+	}
+	for c.IdleCount() > 0 {
+		runnable := c.Runnable()
+		if len(runnable) == 0 {
+			return nil
+		}
+		d := s.Pick(c)
+		if d.Defer {
+			return nil
+		}
+		if d.Ref.Stage == nil || d.Ref.Job == nil {
+			return fmt.Errorf("%w: %s returned empty decision", errNoProgress, s.Name())
+		}
+		if n := c.assign(d); n == 0 {
+			// The chosen stage could not accept an executor (saturated
+			// limit or per-job cap). A correct scheduler avoids this;
+			// treat it as a defer rather than livelocking.
+			return nil
+		}
+	}
+	return nil
+}
+
+// assign binds idle executors to the decision's stage, honouring the
+// parallelism limit, remaining tasks, and per-job cap. It returns the
+// number of executors bound.
+func (c *Cluster) assign(d Decision) int {
+	j, st := d.Ref.Job, d.Ref.Stage
+	if !j.Arrived || j.Done || !st.Runnable() {
+		return 0
+	}
+	limit := d.Limit
+	if limit < 1 || limit > st.Stage.NumTasks {
+		limit = st.Stage.NumTasks
+	}
+	st.Limit = limit
+	n := 0
+	for _, e := range c.execs {
+		if e.busy || e.reserved != nil {
+			continue
+		}
+		if d.MaxNew > 0 && n >= d.MaxNew {
+			break
+		}
+		if st.Running >= limit || st.RemainingTasks() == 0 {
+			break
+		}
+		if c.cfg.PerJobCap > 0 && j.Executors >= c.cfg.PerJobCap {
+			break
+		}
+		c.bind(e, j, st)
+		n++
+	}
+	return n
+}
+
+// dispatchReserved lets every job-held executor pull a task from its
+// job's runnable stages (in-application FIFO: lowest stage ID first).
+func (c *Cluster) dispatchReserved() {
+	for _, e := range c.execs {
+		j := e.reserved
+		if j == nil || e.busy {
+			continue
+		}
+		for _, st := range j.Stages {
+			if st.Runnable() {
+				e.reserved = nil
+				e.busy = true
+				e.job = j
+				e.stage = st
+				c.busyCount++
+				st.Running++
+				st.Dispatched++
+				c.push(event{at: c.clock + c.taskDuration(st), kind: evTaskDone, exec: e})
+				break
+			}
+		}
+	}
+}
+
+// bind starts a free-pool executor on the stage's next task.
+func (c *Cluster) bind(e *executor, j *JobRun, st *StageRun) {
+	delay := 0.0
+	if e.lastJob != j {
+		delay = c.cfg.MoveDelay
+	}
+	e.busy = true
+	e.job = j
+	e.stage = st
+	c.busyCount++
+	c.activeCount++
+	j.Executors++
+	st.Running++
+	st.Dispatched++
+	c.push(event{at: c.clock + delay + c.taskDuration(st), kind: evTaskDone, exec: e})
+}
+
+// taskDuration samples one task's duration with optional jitter.
+func (c *Cluster) taskDuration(st *StageRun) float64 {
+	d := st.Stage.TaskDuration
+	if c.cfg.DurationJitter > 0 {
+		d *= 1 + c.cfg.DurationJitter*c.rng.NormFloat64()
+		if d < st.Stage.TaskDuration/10 {
+			d = st.Stage.TaskDuration / 10
+		}
+	}
+	return d
+}
+
+// completeTask handles a task-done event: the attempt may fail and retry
+// (failure injection); otherwise the executor either pulls the next task
+// of its stage (when the limit allows) or goes idle; stage and job
+// completion propagate to children.
+func (c *Cluster) completeTask(e *executor) {
+	st, j := e.stage, e.job
+	if c.cfg.FailureRate > 0 && c.rng.Float64() < c.cfg.FailureRate {
+		// The attempt is lost; the executor retries the task in place.
+		c.retries++
+		c.push(event{at: c.clock + c.taskDuration(st), kind: evTaskDone, exec: e})
+		return
+	}
+	st.Completed++
+	if st.Completed == st.Stage.NumTasks {
+		c.finishStage(j, st)
+	}
+	// Continue on the same stage when tasks remain and the limit holds.
+	if st.RemainingTasks() > 0 && st.Running <= st.Limit {
+		st.Dispatched++
+		c.push(event{at: c.clock + c.taskDuration(st), kind: evTaskDone, exec: e})
+		return
+	}
+	// Release the executor: back to the job's held pool in standalone
+	// mode (unless the job just finished), otherwise to the free pool.
+	e.busy = false
+	e.lastJob = j
+	e.job = nil
+	e.stage = nil
+	st.Running--
+	c.busyCount--
+	if c.cfg.HoldExecutors && !j.Done {
+		e.reserved = j
+		if c.cfg.IdleTimeout >= 0 {
+			timeout := c.cfg.IdleTimeout
+			if timeout == 0 {
+				timeout = 60 // Spark's executorIdleTimeout default
+			}
+			e.holdExpire = c.clock + timeout
+			c.push(event{at: e.holdExpire, kind: evHoldExpire, exec: e})
+		}
+		return // still active: the job holds the executor
+	}
+	j.Executors--
+	c.activeCount--
+}
+
+// expireHold releases a still-reserved executor whose idle window lapsed.
+// Stale expiry events (the executor was re-dispatched and re-reserved
+// since) are detected by comparing against the current holdExpire.
+func (c *Cluster) expireHold(e *executor) {
+	if e.reserved == nil || e.busy || c.clock < e.holdExpire {
+		return
+	}
+	e.reserved.Executors--
+	e.reserved = nil
+	c.activeCount--
+}
+
+// finishStage propagates completion to children and detects job
+// completion.
+func (c *Cluster) finishStage(j *JobRun, st *StageRun) {
+	j.StagesDone++
+	for _, childID := range st.Stage.Children {
+		j.Stages[childID].ParentsLeft--
+	}
+	if j.StagesDone == len(j.Stages) {
+		j.Done = true
+		j.CompletedAt = c.clock
+		// Release every executor the job was holding (standalone mode).
+		for _, e := range c.execs {
+			if e.reserved == j {
+				e.reserved = nil
+				e.lastJob = j
+				j.Executors--
+				c.activeCount--
+			}
+		}
+	}
+}
