@@ -1,0 +1,25 @@
+# Developer entry points for the pcaps reproduction.
+
+GO ?= go
+
+.PHONY: build test vet bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the full artifact benchmark harness (root bench_test.go) and
+# records the machine-readable event stream as BENCH_1.json, seeding the
+# performance trajectory tracked across PRs. Human-readable output goes to
+# the terminal via the test summary inside the JSON events.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem -json . > BENCH_1.json
+	@echo "wrote BENCH_1.json ($$(wc -l < BENCH_1.json) events)"
+
+clean:
+	rm -f BENCH_1.json

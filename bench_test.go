@@ -16,7 +16,11 @@ import (
 	"pcaps/internal/experiments"
 )
 
-// benchArtifact runs one artifact per benchmark iteration.
+// benchArtifact runs one artifact per benchmark iteration, fanning its
+// cells out over the default worker pool (Parallel: 0 = GOMAXPROCS) —
+// the same configuration `pcapsim -exp all` uses. Reports are identical
+// at any parallelism, so the published metrics are comparable across
+// machines and worker counts.
 func benchArtifact(b *testing.B, id string) *experiments.Report {
 	b.Helper()
 	var rep *experiments.Report
@@ -78,13 +82,24 @@ func BenchmarkFig19ArrivalProto(b *testing.B)   { benchArtifact(b, "fig19") }
 func BenchmarkFig20Latency(b *testing.B)        { benchArtifact(b, "fig20") }
 
 // BenchmarkAllArtifactsOnce regenerates every artifact once per
-// iteration, the end-to-end cost of a full fast reproduction pass.
+// iteration through the parallel engine (RunAll fans artifacts and
+// their cells out over all cores) — the end-to-end cost of
+// `pcapsim -exp all -fast`.
 func BenchmarkAllArtifactsOnce(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		for _, id := range experiments.IDs() {
-			if _, err := experiments.Run(id, experiments.Options{Fast: true, Seed: 42}); err != nil {
-				b.Fatal(err)
-			}
+		if _, err := experiments.RunAll(experiments.IDs(), experiments.Options{Fast: true, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllArtifactsOnceSerial is the same pass pinned to one worker
+// (Parallel: 1). The ratio against BenchmarkAllArtifactsOnce is the
+// engine's parallel speedup on the benchmarking machine.
+func BenchmarkAllArtifactsOnceSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(experiments.IDs(), experiments.Options{Fast: true, Seed: 42, Parallel: 1}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -25,13 +25,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, or 'all')")
-		list   = flag.Bool("list", false, "list artifact IDs and exit")
-		grids  = flag.String("grids", "", "comma-separated grid subset (default: all six)")
-		trials = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
-		jobs   = flag.Int("jobs", 0, "override batch size where applicable")
-		seed   = flag.Int64("seed", 42, "random seed")
-		fast   = flag.Bool("fast", false, "shrink the experiment matrix for a quick pass")
+		exp      = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, or 'all')")
+		list     = flag.Bool("list", false, "list artifact IDs and exit")
+		grids    = flag.String("grids", "", "comma-separated grid subset (default: all six)")
+		trials   = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
+		jobs     = flag.Int("jobs", 0, "override batch size where applicable")
+		seed     = flag.Int64("seed", 42, "random seed")
+		fast     = flag.Bool("fast", false, "shrink the experiment matrix for a quick pass")
+		parallel = flag.Int("parallel", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	)
 	flag.Parse()
 
@@ -46,26 +47,39 @@ func main() {
 		os.Exit(2)
 	}
 	opt := experiments.Options{
-		Trials: *trials,
-		Jobs:   *jobs,
-		Seed:   *seed,
-		Fast:   *fast,
+		Trials:   *trials,
+		Jobs:     *jobs,
+		Seed:     *seed,
+		Fast:     *fast,
+		Parallel: *parallel,
 	}
 	if *grids != "" {
+		// Grid names are validated by experiments.Run; a typo surfaces as
+		// a clear error before any simulation starts.
 		opt.Grids = strings.Split(*grids, ",")
 	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		rep, err := experiments.Run(id, opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcapsim: %s: %v\n", id, err)
-			os.Exit(1)
+	// Reports go to stdout in request order; timing goes to stderr so
+	// stdout stays byte-identical across -parallel settings. On failure,
+	// the artifacts that finished before the run was cut short still
+	// print (the contiguous completed prefix, as a serial run would show).
+	start := time.Now()
+	reports, err := experiments.RunAll(ids, opt)
+	printed := 0
+	for _, rep := range reports {
+		if rep == nil {
+			break
 		}
 		fmt.Print(rep.Render())
-		fmt.Printf("[%s in %.1fs]\n\n", id, time.Since(start).Seconds())
+		fmt.Println()
+		printed++
 	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcapsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "[%d artifact(s) in %.1fs]\n", printed, time.Since(start).Seconds())
 }

@@ -1,0 +1,3 @@
+module pcaps
+
+go 1.24

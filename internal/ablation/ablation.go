@@ -203,27 +203,43 @@ type Outcome struct {
 // returns the outcomes in input order, with the carbon-agnostic baseline
 // first.
 func Compare(cfg sim.Config, jobs []*dag.Job, baseline sim.Scheduler, variants []sim.Scheduler) ([]Outcome, error) {
-	out := make([]Outcome, 0, len(variants)+1)
-	run := func(s sim.Scheduler) error {
+	return CompareWith(cfg, jobs, baseline, variants, nil)
+}
+
+// CompareWith is Compare with an injectable fan-out: each runs fn(i) for
+// every index in [0, n), possibly concurrently (the simulations are
+// independent — sim.Run clones the job templates). A nil each runs the
+// suite serially. Outcomes come back in input order either way.
+func CompareWith(cfg sim.Config, jobs []*dag.Job, baseline sim.Scheduler, variants []sim.Scheduler,
+	each func(n int, fn func(i int))) ([]Outcome, error) {
+	scheds := append([]sim.Scheduler{baseline}, variants...)
+	outs := make([]Outcome, len(scheds))
+	errs := make([]error, len(scheds))
+	run := func(i int) {
+		s := scheds[i]
 		res, err := sim.Run(cfg, jobs, s)
 		if err != nil {
-			return fmt.Errorf("ablation: %s: %w", s.Name(), err)
+			errs[i] = fmt.Errorf("ablation: %s: %w", s.Name(), err)
+			return
 		}
-		out = append(out, Outcome{
+		outs[i] = Outcome{
 			Name: s.Name(), CarbonGrams: res.CarbonGrams,
 			ECT: res.ECT, AvgJCT: res.AvgJCT, Deferrals: res.Deferrals,
-		})
-		return nil
+		}
 	}
-	if err := run(baseline); err != nil {
-		return nil, err
+	if each == nil {
+		for i := range scheds {
+			run(i)
+		}
+	} else {
+		each(len(scheds), run)
 	}
-	for _, v := range variants {
-		if err := run(v); err != nil {
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
-	return out, nil
+	return outs, nil
 }
 
 // Render formats outcomes as a table relative to the first (baseline) row.

@@ -54,5 +54,11 @@ func ReadCSV(r io.Reader, grid string, interval float64) (*Trace, error) {
 		}
 		vals = append(vals, v)
 	}
+	if len(vals) == 0 {
+		// Distinguish "the file parsed but held nothing" (header-only or
+		// blank input) from New's generic empty-trace error, so operators
+		// see which CSV was at fault rather than a bare ErrEmptyTrace.
+		return nil, fmt.Errorf("carbon: csv for grid %q has no data rows (%d rows read): %w", grid, row, ErrEmptyTrace)
+	}
 	return New(grid, interval, vals)
 }

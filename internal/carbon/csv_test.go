@@ -1,0 +1,44 @@
+package carbon
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVHeaderOnly(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("hour,intensity_gco2eq_kwh\n"), "DE", 60)
+	if err == nil {
+		t.Fatal("header-only csv accepted")
+	}
+	if !strings.Contains(err.Error(), "no data rows") {
+		t.Fatalf("want a 'no data rows' error, got: %v", err)
+	}
+	if !errors.Is(err, ErrEmptyTrace) {
+		t.Fatalf("error does not wrap ErrEmptyTrace: %v", err)
+	}
+}
+
+func TestReadCSVEmptyInput(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader(""), "DE", 60)
+	if err == nil || !strings.Contains(err.Error(), "no data rows") {
+		t.Fatalf("want a 'no data rows' error for empty input, got: %v", err)
+	}
+}
+
+func TestReadCSVBlankTrailingLines(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("hour,intensity\n0,100\n1,200\n\n\n"), "DE", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Values) != 2 || tr.Values[0] != 100 || tr.Values[1] != 200 {
+		t.Fatalf("values = %v", tr.Values)
+	}
+}
+
+func TestReadCSVBlankLinesOnly(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("\n\n\n"), "DE", 60)
+	if err == nil || !strings.Contains(err.Error(), "no data rows") {
+		t.Fatalf("want a 'no data rows' error for blank-only input, got: %v", err)
+	}
+}

@@ -19,7 +19,7 @@ func init() {
 // suspend-resume baseline, all against carbon-agnostic Decima on the DE
 // grid.
 func ablationReport(opt Options) (*Report, error) {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	n := opt.Jobs
 	if n <= 0 {
 		n = 50
@@ -29,7 +29,7 @@ func ablationReport(opt Options) (*Report, error) {
 	}
 	seed := e.opt.Seed
 	jobs := batch(n, 30, workload.MixTPCH, seed)
-	tr := e.trialTrace("DE", 60+n)
+	tr := e.trialTrace("DE", 60+n, cellSeed(e.opt.Seed, "DE", int64(n)))
 	cfg := simConfig(tr, seed)
 	gamma := 0.6
 	mk := func() sched.Probabilistic { return sched.NewDecima(seed) }
@@ -43,7 +43,10 @@ func ablationReport(opt Options) (*Report, error) {
 		&ablation.FilterPCAPS{PB: mk(), Gamma: gamma, BoundsError: 0.15, Seed: seed},
 		&ablation.SuspendResume{Inner: mk(), Theta: 0.5},
 	}
-	outs, err := ablation.Compare(cfg, jobs, sched.NewDecima(seed), variants)
+	// Every entry is an independent simulation; hand Compare the pool's
+	// fan-out so the suite spreads across the worker budget.
+	outs, err := ablation.CompareWith(cfg, jobs, sched.NewDecima(seed), variants,
+		func(n int, fn func(i int)) { forEach(e.opt.pool, n, fn) })
 	if err != nil {
 		return nil, err
 	}

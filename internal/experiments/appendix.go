@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -17,7 +18,7 @@ func init() {
 	register("fig17", fig17)
 	register("fig18", fig18)
 	register("fig19", fig19)
-	register("fig20", fig20)
+	registerSerial("fig20", fig20)
 }
 
 // jobCountSettings are the Appendix A.2.1 batch sizes.
@@ -30,7 +31,7 @@ var arrivalSettings = []float64{7.5, 15, 30, 60, 120}
 // and PCAPS against the environment's baseline.
 func runAxis(opt Options, id, title, label string, proto bool, mix workload.Mix,
 	settings []float64, build func(v float64, seed int64) (njobs int, interarrival float64)) (*Report, error) {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	trials := opt.Trials
 	if trials <= 0 {
 		trials = 3
@@ -50,31 +51,50 @@ func runAxis(opt Options, id, title, label string, proto bool, mix workload.Mix,
 			rows[nm][s] = &agg{}
 		}
 	}
+	// One cell per (setting, trial), fanned out over the pool; the seed
+	// folds the setting's bits in so every axis point draws independent
+	// randomness regardless of execution order.
+	type axisCell struct {
+		setting float64
+		trial   int
+	}
+	var cells []axisCell
 	for _, setting := range settings {
 		for trial := 0; trial < trials; trial++ {
-			seed := e.opt.Seed + int64(trial)*104729 + int64(setting*8)
-			njobs, inter := build(setting, seed)
-			jobs := batch(njobs, inter, mix, seed)
-			window := 60 + njobs*int(inter+29)/30/1 // rough sizing; Slice clamps
-			tr := e.trialTrace("DE", window)
-			cfg := simConfig(tr, seed)
-			baseSched := sim.Scheduler(&sched.FIFO{})
-			capInner := func() sim.Scheduler { return &sched.FIFO{} }
-			if proto {
-				cfg = protoConfig(tr, seed)
-				baseSched = sched.NewKubeDefault()
-				capInner = func() sim.Scheduler { return sched.NewKubeDefault() }
-			}
-			base := mustRun(cfg, jobs, baseSched)
-			record := func(nm string, r *sim.Result) {
-				a := rows[nm][setting]
-				a.carbon = append(a.carbon, -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
-				a.ect = append(a.ect, r.ECT/base.ECT)
-				a.jct = append(a.jct, r.AvgJCT/base.AvgJCT)
-			}
-			record("Decima", mustRun(cfg, jobs, sched.NewDecima(seed)))
-			record("CAP", mustRun(cfg, jobs, sched.NewCAP(capInner(), 20)))
-			record("PCAPS", mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)))
+			cells = append(cells, axisCell{setting: setting, trial: trial})
+		}
+	}
+	runs := make([]map[string]*sim.Result, len(cells))
+	forEach(opt.pool, len(cells), func(i int) {
+		c := cells[i]
+		seed := cellSeed(e.opt.Seed, "DE", int64(math.Float64bits(c.setting)), int64(c.trial))
+		njobs, inter := build(c.setting, seed)
+		jobs := batch(njobs, inter, mix, seed)
+		window := 60 + njobs*int(inter+29)/30/1 // rough sizing; Slice clamps
+		tr := e.trialTrace("DE", window, seed)
+		cfg := simConfig(tr, seed)
+		baseSched := sim.Scheduler(&sched.FIFO{})
+		capInner := func() sim.Scheduler { return &sched.FIFO{} }
+		if proto {
+			cfg = protoConfig(tr, seed)
+			baseSched = sched.NewKubeDefault()
+			capInner = func() sim.Scheduler { return sched.NewKubeDefault() }
+		}
+		runs[i] = map[string]*sim.Result{
+			"":       mustRun(cfg, jobs, baseSched),
+			"Decima": mustRun(cfg, jobs, sched.NewDecima(seed)),
+			"CAP":    mustRun(cfg, jobs, sched.NewCAP(capInner(), 20)),
+			"PCAPS":  mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+		}
+	})
+	for i, c := range cells {
+		base := runs[i][""]
+		for _, nm := range names {
+			r := runs[i][nm]
+			a := rows[nm][c.setting]
+			a.carbon = append(a.carbon, -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
+			a.ect = append(a.ect, r.ECT/base.ECT)
+			a.jct = append(a.jct, r.AvgJCT/base.AvgJCT)
 		}
 	}
 	var b strings.Builder
@@ -141,8 +161,16 @@ func fig19(opt Options) (*Report, error) {
 // number of outstanding jobs (A.2.3): FIFO and CAP-FIFO stay in the
 // microsecond range; Decima and PCAPS grow with queue length; PCAPS adds
 // a small constant over Decima.
+//
+// Unlike every other runner, fig20 deliberately stays serial and off the
+// worker pool: it reports wall-clock Pick latencies, which concurrent
+// simulations on sibling cores would skew — RunAll likewise holds it
+// back until the other artifacts' fan-out has drained. Its measured
+// values are inherently run-to-run noise, so they are the one part of a
+// report body that is not byte-reproducible (the table's structure and
+// row set are).
 func fig20(opt Options) (*Report, error) {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	tr := e.traces["DE"]
 	queueSizes := []int{1, 5, 10, 25, 50, 75, 100}
 	if opt.Fast {

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"pcaps/internal/carbon"
 	"pcaps/internal/cluster"
@@ -35,6 +36,47 @@ type Options struct {
 	// Fast shrinks the experiment matrix for tests and smoke runs: one
 	// grid, one batch size, minimal trials.
 	Fast bool
+	// Parallel bounds the worker goroutines used to fan independent
+	// experiment cells out over the cores: 0 selects
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. The bound is
+	// shared across nested fan-outs (RunAll's artifact level and each
+	// runner's cell level draw from one pool), so it caps the whole run.
+	// Every cell seeds its randomness from its own identity (see
+	// cellSeed), so reports are byte-identical across Parallel settings.
+	Parallel int
+
+	// pool is the shared worker budget, created once per Run/RunAll
+	// entry and threaded through scoped() copies.
+	pool *pool
+}
+
+// scoped returns a copy of o restricted to the given grids, preserving
+// the execution fields (seed, hours, fast mode, parallelism, pool).
+// Runners that pin a grid (sweeps, ablations) use it instead of building
+// an Options literal, which would silently drop the shared pool.
+func (o Options) scoped(grids ...string) Options {
+	o.Grids = grids
+	o.Trials = 0
+	o.Jobs = 0
+	return o
+}
+
+// validate rejects options the runners cannot execute, most importantly
+// unknown grid names, which would otherwise surface as nil-trace panics
+// deep inside a worker.
+func (o Options) validate() error {
+	known := map[string]bool{}
+	var names []string
+	for _, spec := range carbon.Grids() {
+		known[spec.Name] = true
+		names = append(names, spec.Name)
+	}
+	for _, g := range o.Grids {
+		if !known[g] {
+			return fmt.Errorf("experiments: unknown grid %q (have %s)", g, strings.Join(names, ", "))
+		}
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +136,18 @@ var order = []string{
 
 func register(id string, r Runner) { registry[id] = r }
 
+// serialOnly marks artifacts whose measurements sibling runners would
+// corrupt (wall-clock timing); RunAll executes them alone after the
+// concurrent fan-out drains.
+var serialOnly = map[string]bool{}
+
+// registerSerial registers a runner that must not share the machine with
+// other artifacts while it runs.
+func registerSerial(id string, r Runner) {
+	register(id, r)
+	serialOnly[id] = true
+}
+
 // IDs lists the available artifact IDs in paper order.
 func IDs() []string {
 	out := make([]string, 0, len(registry))
@@ -125,23 +179,78 @@ func Run(id string, opt Options) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown artifact %q (have %v)", id, IDs())
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.pool == nil {
+		opt.pool = newPool(opt.Parallel)
+	}
 	return r(opt)
+}
+
+// RunAll executes the named artifacts, fanning the runners themselves out
+// over the worker pool, and returns the reports in the requested order.
+// Runners additionally parallelize their own (grid, size, trial) cells,
+// so `-exp all` keeps every core busy even in fast mode, where most
+// runners collapse to a handful of cells. Artifacts registered as
+// serial-only (timing measurements) run alone after the fan-out drains.
+//
+// On failure the first error in request order is returned together with
+// the reports slice, whose entries are non-nil for artifacts that
+// completed before the run was cut short — callers can render the
+// finished prefix instead of discarding a long run's output.
+func RunAll(ids []string, opt Options) ([]*Report, error) {
+	if opt.pool == nil {
+		opt.pool = newPool(opt.Parallel)
+	}
+	reports := make([]*Report, len(ids))
+	errs := make([]error, len(ids))
+	var concurrent, alone []int
+	for i, id := range ids {
+		if serialOnly[id] {
+			alone = append(alone, i)
+		} else {
+			concurrent = append(concurrent, i)
+		}
+	}
+	// Fail fast: once any artifact errors, remaining cells return
+	// immediately instead of simulating for minutes before the error
+	// surfaces.
+	var failed atomic.Bool
+	run := func(i int) {
+		if failed.Load() {
+			return
+		}
+		reports[i], errs[i] = Run(ids[i], opt)
+		if errs[i] != nil {
+			failed.Store(true)
+		}
+	}
+	forEach(opt.pool, len(concurrent), func(k int) { run(concurrent[k]) })
+	for _, i := range alone {
+		run(i)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return reports, fmt.Errorf("%s: %w", ids[i], err)
+		}
+	}
+	return reports, nil
 }
 
 // env bundles the shared inputs of one experiment.
 type env struct {
 	opt    Options
 	traces map[string]*carbon.Trace
-	rng    *rand.Rand
 }
 
 func newEnv(opt Options) *env {
 	opt = opt.withDefaults()
-	e := &env{opt: opt, rng: rand.New(rand.NewSource(opt.Seed)), traces: map[string]*carbon.Trace{}}
+	e := &env{opt: opt, traces: map[string]*carbon.Trace{}}
 	for i, spec := range carbon.Grids() {
 		for _, want := range opt.Grids {
 			if spec.Name == want {
-				e.traces[spec.Name] = carbon.Synthesize(spec, opt.Hours, 60, opt.Seed+int64(i)*1000003)
+				e.traces[spec.Name] = cachedTrace(spec, opt.Hours, opt.Seed+int64(i)*1000003)
 			}
 		}
 	}
@@ -150,14 +259,21 @@ func newEnv(opt Options) *env {
 
 // trialTrace returns the trace window for one randomized trial: a
 // uniformly random start offset into the grid's three-year history, as
-// the prototype experiments do (§6.1).
-func (e *env) trialTrace(grid string, windowHours int) *carbon.Trace {
+// the prototype experiments do (§6.1). The offset is drawn from a
+// dedicated RNG seeded by the cell's identity, so the window depends only
+// on the cell — not on how many draws other cells made first — and
+// serial and parallel sweeps see identical windows. The cell seed is
+// domain-separated first because callers feed the same value to
+// workload.Batch; without separation the offset would be the first draw
+// of the very stream the job batch consumes.
+func (e *env) trialTrace(grid string, windowHours int, seed int64) *carbon.Trace {
 	tr := e.traces[grid]
 	maxStart := len(tr.Values) - windowHours
 	if maxStart < 1 {
 		return tr
 	}
-	off := float64(e.rng.Intn(maxStart)) * tr.Interval
+	rng := rand.New(rand.NewSource(cellSeed(seed, "trace-offset")))
+	off := float64(rng.Intn(maxStart)) * tr.Interval
 	return tr.Slice(off, float64(windowHours)*tr.Interval)
 }
 

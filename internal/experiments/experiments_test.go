@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"fmt"
+	"regexp"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func fastOpt() Options { return Options{Fast: true, Seed: 42} }
@@ -107,13 +112,13 @@ func TestOptionsDefaults(t *testing.T) {
 
 func TestTrialTraceWindows(t *testing.T) {
 	e := newEnv(Options{Fast: true, Seed: 3})
-	tr := e.trialTrace("DE", 100)
+	tr := e.trialTrace("DE", 100, cellSeed(3, "DE", 0))
 	if len(tr.Values) != 100 {
 		t.Fatalf("window = %d samples", len(tr.Values))
 	}
-	// Different draws land at different offsets (with high probability).
-	a := e.trialTrace("DE", 100)
-	b := e.trialTrace("DE", 100)
+	// Different cells land at different offsets (with high probability).
+	a := e.trialTrace("DE", 100, cellSeed(3, "DE", 1))
+	b := e.trialTrace("DE", 100, cellSeed(3, "DE", 2))
 	same := true
 	for i := range a.Values {
 		if a.Values[i] != b.Values[i] {
@@ -122,6 +127,167 @@ func TestTrialTraceWindows(t *testing.T) {
 		}
 	}
 	if same {
-		t.Fatal("trial windows identical across draws")
+		t.Fatal("trial windows identical across cells")
+	}
+	// The same cell always sees the same window, no matter how many other
+	// draws happened in between — the property parallel execution needs.
+	c := e.trialTrace("DE", 100, cellSeed(3, "DE", 1))
+	for i := range a.Values {
+		if a.Values[i] != c.Values[i] {
+			t.Fatal("same cell produced different windows")
+		}
+	}
+}
+
+// maskTimings collapses numbers (and the column padding their width
+// changes) to '#', used to compare fig20 bodies whose latency columns are
+// live wall-clock measurements (see the fig20 runner comment) and
+// therefore differ even between two serial runs.
+var (
+	numberRun = regexp.MustCompile(`[0-9][0-9.]*`)
+	spaceRun  = regexp.MustCompile(` +`)
+)
+
+func maskTimings(s string) string {
+	return spaceRun.ReplaceAllString(numberRun.ReplaceAllString(s, "#"), " ")
+}
+
+// TestSerialParallelDeterminism is the regression gate for the parallel
+// experiment engine: for every artifact, the serial path (Parallel: 1)
+// and the fanned-out path (Parallel: 4) must produce byte-identical
+// report bodies at the same seed. fig20's measured latencies are masked;
+// its structure must still match byte-for-byte.
+func TestSerialParallelDeterminism(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(id, Options{Fast: true, Seed: 42, Parallel: 1})
+			if err != nil {
+				t.Fatalf("serial Run(%s): %v", id, err)
+			}
+			par, err := Run(id, Options{Fast: true, Seed: 42, Parallel: 4})
+			if err != nil {
+				t.Fatalf("parallel Run(%s): %v", id, err)
+			}
+			sb, pb := serial.Body, par.Body
+			if id == "fig20" {
+				sb, pb = maskTimings(sb), maskTimings(pb)
+			}
+			if sb != pb {
+				t.Fatalf("serial and parallel bodies differ for %s:\n--- serial ---\n%s\n--- parallel ---\n%s", id, sb, pb)
+			}
+		})
+	}
+}
+
+func TestRunAllOrderAndErrors(t *testing.T) {
+	ids := []string{"table1", "fig1"}
+	reports, err := RunAll(ids, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if reports[i].ID != id {
+			t.Fatalf("reports[%d].ID = %q, want %q", i, reports[i].ID, id)
+		}
+	}
+	if _, err := RunAll([]string{"table1", "fig99"}, fastOpt()); err == nil {
+		t.Fatal("RunAll accepted an unknown artifact")
+	}
+}
+
+func TestForEachCoversAllCellsOnce(t *testing.T) {
+	for _, parallel := range []int{1, 3, 16} {
+		const n = 100
+		counts := make([]int32, n)
+		var mu sync.Mutex
+		forEach(newPool(parallel), n, func(i int) { mu.Lock(); counts[i]++; mu.Unlock() })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallel=%d: cell %d ran %d times", parallel, i, c)
+			}
+		}
+	}
+	forEach(newPool(4), 0, func(int) { t.Fatal("fn called for n=0") })
+	// A nil pool degenerates to a serial loop.
+	ran := 0
+	forEach(nil, 3, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d of 3 cells", ran)
+	}
+}
+
+// TestForEachSharedBudget pins the Options.Parallel contract: nested
+// fan-outs draw extra workers from one pool, so total concurrency stays
+// within the requested bound instead of multiplying per level.
+func TestForEachSharedBudget(t *testing.T) {
+	p := newPool(3)
+	var cur, peak atomic.Int64
+	var inner func(depth int)
+	inner = func(depth int) {
+		forEach(p, 4, func(int) {
+			if depth > 0 {
+				inner(depth - 1)
+				return
+			}
+			// Only leaf cells count: an ancestor frame is blocked in the
+			// recursive call, so each goroutine contributes at most one.
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	inner(2)
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds the requested bound of 3", got)
+	}
+}
+
+func TestForEachPropagatesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	forEach(newPool(4), 8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunRejectsUnknownGrid(t *testing.T) {
+	_, err := Run("table2", Options{Fast: true, Seed: 42, Grids: []string{"BOGUS"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown grid "BOGUS"`) {
+		t.Fatalf("want an unknown-grid error, got: %v", err)
+	}
+}
+
+func TestCellSeedDistinguishesCoordinates(t *testing.T) {
+	seen := map[int64]string{}
+	for _, grid := range []string{"DE", "CAISO"} {
+		for size := int64(0); size < 4; size++ {
+			for trial := int64(0); trial < 4; trial++ {
+				s := cellSeed(42, grid, size, trial)
+				if s < 0 {
+					t.Fatalf("negative seed %d", s)
+				}
+				key := fmt.Sprintf("%s/%d/%d", grid, size, trial)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+	if cellSeed(1, "DE", 2) == cellSeed(2, "DE", 1) {
+		t.Fatal("base seed and coordinate are interchangeable")
 	}
 }

@@ -66,24 +66,33 @@ func perGrid(opt Options, proto bool, mix workload.Mix,
 	for _, name := range names {
 		rows[name] = newGridRow(e.opt.Grids)
 	}
-	for _, grid := range e.opt.Grids {
-		for _, size := range sizes {
-			for trial := 0; trial < trials; trial++ {
-				seed := e.opt.Seed + int64(trial)*7919 + int64(size)
-				jobs := batch(size, 30, mix, seed)
-				tr := e.trialTrace(grid, 60+size)
-				cfg := simConfig(tr, seed)
-				if proto {
-					cfg = protoConfig(tr, seed)
-				}
-				base := mustRun(cfg, jobs, baseline(seed))
-				for _, name := range names {
-					r := mustRun(cfg, jobs, schedulers[name](seed))
-					rows[name].carbonPct[grid] = append(rows[name].carbonPct[grid],
-						-metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
-					rows[name].ects[grid] = append(rows[name].ects[grid], r.ECT/base.ECT)
-				}
-			}
+	// Fan the (grid, size, trial) cells out over the pool; each cell runs
+	// its baseline plus every scheduler, and the per-cell results fold
+	// back in matrix order so the report is identical at any parallelism.
+	cells := matrixCells(e.opt.Grids, sizes, trials)
+	runs := make([]map[string]*sim.Result, len(cells))
+	forEach(e.opt.pool, len(cells), func(i int) {
+		c := cells[i]
+		seed := cellSeed(e.opt.Seed, c.grid, int64(c.size), int64(c.trial))
+		jobs := batch(c.size, 30, mix, seed)
+		tr := e.trialTrace(c.grid, 60+c.size, seed)
+		cfg := simConfig(tr, seed)
+		if proto {
+			cfg = protoConfig(tr, seed)
+		}
+		out := map[string]*sim.Result{"": mustRun(cfg, jobs, baseline(seed))}
+		for _, name := range names {
+			out[name] = mustRun(cfg, jobs, schedulers[name](seed))
+		}
+		runs[i] = out
+	})
+	for i, c := range cells {
+		base := runs[i][""]
+		for _, name := range names {
+			r := runs[i][name]
+			rows[name].carbonPct[c.grid] = append(rows[name].carbonPct[c.grid],
+				-metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
+			rows[name].ects[c.grid] = append(rows[name].ects[c.grid], r.ECT/base.ECT)
 		}
 	}
 	var b strings.Builder

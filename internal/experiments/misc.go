@@ -95,7 +95,7 @@ func occupancyStrip(res *sim.Result, interval float64, k int, upTo int) string {
 // 5-executor cluster with 20 TPC-H jobs over 15 hours in the DE grid
 // (Fig. 6).
 func fig6(opt Options) (*Report, error) {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	tr := e.traces["DE"].Slice(0, 200*60)
 	seed := e.opt.Seed
 	jobs := batch(20, 30, workload.MixTPCH, seed)
@@ -104,16 +104,25 @@ func fig6(opt Options) (*Report, error) {
 	cfg.TrackJobUsage = true
 	const hours = 40 // the experiment's visible window (paper shows 15)
 	var b strings.Builder
-	run := func(name string, s sim.Scheduler) *sim.Result {
-		r := mustRun(cfg, jobs, s)
-		fmt.Fprintf(&b, "%-9s |%s| carbon=%6.0f g  ECT=%5.0f s\n",
-			name, occupancyStrip(r, tr.Interval, 5, hours), r.CarbonGrams, r.ECT)
-		fmt.Fprintf(&b, "%-9s |%s| (dominant job per hour)\n", "", dominantJobStrip(r, hours))
-		return r
+	policies := []struct {
+		name string
+		s    sim.Scheduler
+	}{
+		{"Decima", sched.NewDecima(seed)},
+		{"PCAPS", sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)},
+		{"CAP-FIFO", sched.NewCAP(&sched.FIFO{}, 1)},
 	}
-	dec := run("Decima", sched.NewDecima(seed))
-	pc := run("PCAPS", sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
-	cap := run("CAP-FIFO", sched.NewCAP(&sched.FIFO{}, 1))
+	results := make([]*sim.Result, len(policies))
+	forEach(e.opt.pool, len(policies), func(i int) {
+		results[i] = mustRun(cfg, jobs, policies[i].s)
+	})
+	for i, p := range policies {
+		r := results[i]
+		fmt.Fprintf(&b, "%-9s |%s| carbon=%6.0f g  ECT=%5.0f s\n",
+			p.name, occupancyStrip(r, tr.Interval, 5, hours), r.CarbonGrams, r.ECT)
+		fmt.Fprintf(&b, "%-9s |%s| (dominant job per hour)\n", "", dominantJobStrip(r, hours))
+	}
+	dec, pc, cap := results[0], results[1], results[2]
 	fmt.Fprintf(&b, "%-9s |%s| (gCO2eq/kWh per hour)\n", "carbon", sparkline(tr.Values[:hours]))
 	if pc.CarbonGrams >= dec.CarbonGrams || pc.CarbonGrams >= cap.CarbonGrams {
 		b.WriteString("note: paper shows PCAPS with the lowest footprint of the three\n")
@@ -139,20 +148,37 @@ func fig9(opt Options) (*Report, error) {
 	if n <= 0 {
 		n = 50
 	}
-	var pcapsPts, capPts []metrics.Point
+	// One cell per (grid, trial); every cell runs its own baseline plus
+	// both policies, and the scatter points fold back in matrix order.
+	type scatterCell struct {
+		grid  string
+		trial int
+	}
+	var cells []scatterCell
 	for _, grid := range e.opt.Grids {
 		for trial := 0; trial < trials; trial++ {
-			seed := e.opt.Seed + int64(trial)*104729
-			jobs := batch(n, 30, workload.MixBoth, seed)
-			tr := e.trialTrace(grid, 60+n)
-			cfg := protoConfig(tr, seed)
-			base := mustRun(cfg, jobs, sched.NewKubeDefault())
-			perJob := func(r *sim.Result) float64 { return r.CarbonGrams / float64(len(jobs)) }
-			pc := mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
-			cp := mustRun(cfg, jobs, sched.NewCAP(sched.NewKubeDefault(), 20))
-			pcapsPts = append(pcapsPts, metrics.Point{X: pc.AvgJCT / base.AvgJCT, Y: perJob(pc) / perJob(base)})
-			capPts = append(capPts, metrics.Point{X: cp.AvgJCT / base.AvgJCT, Y: perJob(cp) / perJob(base)})
+			cells = append(cells, scatterCell{grid: grid, trial: trial})
 		}
+	}
+	type scatterRuns struct{ base, pc, cp *sim.Result }
+	runs := make([]scatterRuns, len(cells))
+	forEach(e.opt.pool, len(cells), func(i int) {
+		c := cells[i]
+		seed := cellSeed(e.opt.Seed, c.grid, int64(c.trial))
+		jobs := batch(n, 30, workload.MixBoth, seed)
+		tr := e.trialTrace(c.grid, 60+n, seed)
+		cfg := protoConfig(tr, seed)
+		runs[i] = scatterRuns{
+			base: mustRun(cfg, jobs, sched.NewKubeDefault()),
+			pc:   mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+			cp:   mustRun(cfg, jobs, sched.NewCAP(sched.NewKubeDefault(), 20)),
+		}
+	})
+	var pcapsPts, capPts []metrics.Point
+	for _, r := range runs {
+		perJob := func(res *sim.Result) float64 { return res.CarbonGrams / float64(n) }
+		pcapsPts = append(pcapsPts, metrics.Point{X: r.pc.AvgJCT / r.base.AvgJCT, Y: perJob(r.pc) / perJob(r.base)})
+		capPts = append(capPts, metrics.Point{X: r.cp.AvgJCT / r.base.AvgJCT, Y: perJob(r.cp) / perJob(r.base)})
 	}
 	var b strings.Builder
 	render := func(name string, pts []metrics.Point) {
@@ -213,7 +239,7 @@ func jobsInSystem(jobs []*dag.Job, res *sim.Result, interval float64, upTo int) 
 // prototype's capped default, with occupancy and jobs-in-system
 // timelines.
 func fig15(opt Options) (*Report, error) {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	seed := e.opt.Seed
 	n := 50
 	if opt.Fast {
@@ -221,8 +247,17 @@ func fig15(opt Options) (*Report, error) {
 	}
 	jobs := batch(n, 30, workload.MixTPCH, seed)
 	tr := e.traces["DE"]
-	fifo := mustRun(simConfig(tr, seed), jobs, &sched.FIFO{})
-	proto := mustRun(protoConfig(tr, seed), jobs, sched.NewKubeDefault())
+	// The simulator and prototype runs are independent; run the pair
+	// concurrently.
+	pair := make([]*sim.Result, 2)
+	forEach(e.opt.pool, 2, func(i int) {
+		if i == 0 {
+			pair[0] = mustRun(simConfig(tr, seed), jobs, &sched.FIFO{})
+		} else {
+			pair[1] = mustRun(protoConfig(tr, seed), jobs, sched.NewKubeDefault())
+		}
+	})
+	fifo, proto := pair[0], pair[1]
 	hours := len(fifo.Usage)
 	if len(proto.Usage) > hours {
 		hours = len(proto.Usage)

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pcaps/internal/carbon"
+)
+
+// pool bounds the total worker goroutines of one experiment run. A single
+// pool is created per Run/RunAll call and shared by every nested forEach
+// (artifact fan-out, per-runner cell fan-out), so Options.Parallel is a
+// true process-wide cap rather than a per-level multiplier.
+type pool struct {
+	// tokens holds permits for extra worker goroutines beyond the
+	// calling one; capacity is parallel-1 so callers plus extras never
+	// exceed the requested parallelism.
+	tokens chan struct{}
+}
+
+func newPool(parallel int) *pool {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &pool{tokens: make(chan struct{}, parallel-1)}
+}
+
+// forEach runs fn(i) for every i in [0, n). The calling goroutine always
+// works through the cells itself; extra workers are spawned only while
+// pool permits are free (non-blocking acquire, so nested fan-outs can
+// never deadlock — they just proceed serially when the budget is spent).
+// A nil pool runs serially. Worker panics are captured, stop further
+// cells from being dispatched, and the first one is re-raised in the
+// caller after in-flight workers drain — preserving mustRun's fail-fast
+// contract across goroutine boundaries without minutes of wasted
+// simulation behind a doomed run.
+//
+// fn must make every stochastic choice from seeds derived via cellSeed so
+// that results do not depend on which worker runs which cell or in what
+// order; callers collect per-cell outputs into index i of a pre-sized
+// slice and fold them serially afterwards.
+func forEach(p *pool, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	next.Store(-1)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Store(true)
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for !failed.Load() {
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	if p != nil {
+	spawn:
+		for extras := 0; extras < n-1; extras++ {
+			select {
+			case p.tokens <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-p.tokens }()
+					work()
+				}()
+			default:
+				break spawn // budget spent; the caller still works
+			}
+		}
+	}
+	work()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// cellSeed derives the RNG seed of one experiment cell from the run seed
+// and the cell's coordinates (grid name plus integer axes such as batch
+// size and trial index). Hashing makes each cell's stochastic choices a
+// pure function of its identity rather than of how many draws earlier
+// cells made, so serial and parallel execution produce identical results.
+func cellSeed(base int64, grid string, coords ...int64) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	h.Write([]byte(grid))
+	for _, c := range coords {
+		binary.LittleEndian.PutUint64(buf[:], uint64(c))
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64() >> 1)
+}
+
+// traceKey identifies one synthesized trace.
+type traceKey struct {
+	grid  string
+	hours int
+	seed  int64
+}
+
+// traceEntry carries the once-guard so concurrent first misses on the
+// same key synthesize exactly one trace between them.
+type traceEntry struct {
+	once sync.Once
+	tr   *carbon.Trace
+}
+
+// traceCache shares synthesized traces across runners and workers.
+// Traces are read-only after construction (every accessor is a pure
+// lookup and Slice returns views), so concurrent reuse is safe;
+// re-synthesizing the three paper years per runner dominated `-exp all`
+// startup before the cache.
+var traceCache sync.Map // traceKey → *traceEntry
+
+func cachedTrace(spec carbon.GridSpec, hours int, seed int64) *carbon.Trace {
+	key := traceKey{grid: spec.Name, hours: hours, seed: seed}
+	v, _ := traceCache.LoadOrStore(key, &traceEntry{})
+	e := v.(*traceEntry)
+	e.once.Do(func() { e.tr = carbon.Synthesize(spec, hours, 60, seed) })
+	return e.tr
+}

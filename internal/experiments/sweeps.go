@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
@@ -24,6 +25,15 @@ type sweepPoint struct {
 	carbonPct, ects []float64
 }
 
+// trialState is one trial's stage-1 output in the two-stage sweeps: the
+// shared batch and configuration plus the baseline run every stage-2
+// parameter point normalizes against.
+type trialState struct {
+	jobs []*dag.Job
+	cfg  sim.Config
+	base *sim.Result
+}
+
 // renderSweep prints one row per parameter value: mean ± std for carbon
 // reduction and relative ECT.
 func renderSweep(label string, pts []sweepPoint) string {
@@ -42,7 +52,7 @@ func renderSweep(label string, pts []sweepPoint) string {
 func sweep(opt Options, proto bool, mix workload.Mix,
 	baseline func(seed int64) sim.Scheduler,
 	params []float64, aware func(p float64, seed int64) sim.Scheduler) []sweepPoint {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	trials := opt.Trials
 	if trials <= 0 {
 		trials = 5
@@ -61,19 +71,32 @@ func sweep(opt Options, proto bool, mix workload.Mix,
 	for i, p := range params {
 		pts[i].param = p
 	}
-	for trial := 0; trial < trials; trial++ {
-		seed := opt.Seed + int64(trial)*104729
+	// Stage 1: baselines, one cell per trial. Stage 2: every (trial,
+	// param) run against its trial's baseline. Both stages fan out over
+	// the pool; the fold below walks trials in order so the appended
+	// sample order matches a serial sweep exactly.
+	states := make([]trialState, trials)
+	forEach(opt.pool, trials, func(t int) {
+		seed := cellSeed(opt.Seed, "DE", int64(t))
 		jobs := batch(n, 30, mix, seed)
-		tr := e.trialTrace("DE", 60+n)
+		tr := e.trialTrace("DE", 60+n, seed)
 		cfg := simConfig(tr, seed)
 		if proto {
 			cfg = protoConfig(tr, seed)
 		}
-		base := mustRun(cfg, jobs, baseline(seed))
-		for i, p := range params {
-			r := mustRun(cfg, jobs, aware(p, seed))
-			pts[i].carbonPct = append(pts[i].carbonPct, -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
-			pts[i].ects = append(pts[i].ects, r.ECT/base.ECT)
+		states[t] = trialState{jobs: jobs, cfg: cfg, base: mustRun(cfg, jobs, baseline(seed))}
+	})
+	runs := make([]*sim.Result, trials*len(params))
+	forEach(opt.pool, len(runs), func(k int) {
+		t, i := k/len(params), k%len(params)
+		seed := cellSeed(opt.Seed, "DE", int64(t))
+		runs[k] = mustRun(states[t].cfg, states[t].jobs, aware(params[i], seed))
+	})
+	for t := 0; t < trials; t++ {
+		for i := range params {
+			r := runs[t*len(params)+i]
+			pts[i].carbonPct = append(pts[i].carbonPct, -metrics.PercentChange(r.CarbonGrams, states[t].base.CarbonGrams))
+			pts[i].ects = append(pts[i].ects, r.ECT/states[t].base.ECT)
 		}
 	}
 	return pts
@@ -129,7 +152,7 @@ func fig12(opt Options) (*Report, error) {
 // across γ ∈ [0.1, 1.0] and B ∈ {5, …, 85}, a cubic fit per method, and
 // the paper's two frontier comparisons.
 func fig13(opt Options) (*Report, error) {
-	e := newEnv(Options{Grids: []string{"DE"}, Seed: opt.Seed, Hours: opt.Hours, Fast: opt.Fast})
+	e := newEnv(opt.scoped("DE"))
 	trials := opt.Trials
 	if trials <= 0 {
 		trials = 3
@@ -143,22 +166,39 @@ func fig13(opt Options) (*Report, error) {
 		bs = []int{15, 45, 75}
 		n = 25
 	}
-	var pcapsPts, capPts []metrics.Point // X = relative ECT, Y = carbon reduction %
-	for trial := 0; trial < trials; trial++ {
-		seed := opt.Seed + int64(trial)*104729
+	// Stage 1: one Decima baseline per trial; stage 2: every (trial, γ)
+	// and (trial, B) run, folded back in trial-major order.
+	states := make([]trialState, trials)
+	forEach(opt.pool, trials, func(t int) {
+		seed := cellSeed(opt.Seed, "DE", int64(t))
 		jobs := batch(n, 30, workload.MixTPCH, seed)
-		tr := e.trialTrace("DE", 60+n)
+		tr := e.trialTrace("DE", 60+n, seed)
 		cfg := simConfig(tr, seed)
-		base := mustRun(cfg, jobs, sched.NewDecima(seed))
-		for _, g := range gammas {
-			r := mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), g, seed))
-			pcapsPts = append(pcapsPts, metrics.Point{
-				X: r.ECT / base.ECT, Y: -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams)})
+		states[t] = trialState{jobs: jobs, cfg: cfg, base: mustRun(cfg, jobs, sched.NewDecima(seed))}
+	})
+	perTrial := len(gammas) + len(bs)
+	runs := make([]*sim.Result, trials*perTrial)
+	forEach(opt.pool, len(runs), func(k int) {
+		t, i := k/perTrial, k%perTrial
+		seed := cellSeed(opt.Seed, "DE", int64(t))
+		st := states[t]
+		if i < len(gammas) {
+			runs[k] = mustRun(st.cfg, st.jobs, sched.NewPCAPS(sched.NewDecima(seed), gammas[i], seed))
+		} else {
+			runs[k] = mustRun(st.cfg, st.jobs, sched.NewCAP(sched.NewDecima(seed), bs[i-len(gammas)]))
 		}
-		for _, b := range bs {
-			r := mustRun(cfg, jobs, sched.NewCAP(sched.NewDecima(seed), b))
-			capPts = append(capPts, metrics.Point{
-				X: r.ECT / base.ECT, Y: -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams)})
+	})
+	var pcapsPts, capPts []metrics.Point // X = relative ECT, Y = carbon reduction %
+	for t := 0; t < trials; t++ {
+		base := states[t].base
+		point := func(r *sim.Result) metrics.Point {
+			return metrics.Point{X: r.ECT / base.ECT, Y: -metrics.PercentChange(r.CarbonGrams, base.CarbonGrams)}
+		}
+		for i := range gammas {
+			pcapsPts = append(pcapsPts, point(runs[t*perTrial+i]))
+		}
+		for i := range bs {
+			capPts = append(capPts, point(runs[t*perTrial+len(gammas)+i]))
 		}
 	}
 	var b strings.Builder

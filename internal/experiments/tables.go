@@ -70,47 +70,91 @@ func (a *normTriple) row(name string) string {
 	return fmt.Sprintf("%-14s %12.1f%% %10.3f %10.3f\n", name, a.carbonPct/n, a.ect/n, a.jct/n)
 }
 
+// matrixCell is one (grid, batch size, trial) coordinate of a table's
+// experiment matrix.
+type matrixCell struct {
+	grid        string
+	size, trial int
+}
+
+// matrixCells enumerates the full grid × size × trial matrix in rendering
+// order; runners fan the cells out over the pool and fold the per-cell
+// results back in this order, so aggregation is independent of which
+// worker finishes first.
+func matrixCells(grids []string, sizes []int, trials int) []matrixCell {
+	cells := make([]matrixCell, 0, len(grids)*len(sizes)*trials)
+	for _, grid := range grids {
+		for _, size := range sizes {
+			for trial := 0; trial < trials; trial++ {
+				cells = append(cells, matrixCell{grid: grid, size: size, trial: trial})
+			}
+		}
+	}
+	return cells
+}
+
+// tableMatrix runs one scheduler set over the full matrix and averages
+// each scheduler's metrics, normalized to names[0] (the baseline).
+func tableMatrix(e *env, sizes []int, trials int, names []string,
+	run func(c matrixCell, seed int64) map[string]*sim.Result) map[string]*normTriple {
+	cells := matrixCells(e.opt.Grids, sizes, trials)
+	runs := make([]map[string]*sim.Result, len(cells))
+	forEach(e.opt.pool, len(cells), func(i int) {
+		c := cells[i]
+		runs[i] = run(c, cellSeed(e.opt.Seed, c.grid, int64(c.size), int64(c.trial)))
+	})
+	aggs := map[string]*normTriple{}
+	for _, n := range names {
+		aggs[n] = &normTriple{}
+	}
+	for _, rs := range runs {
+		base := rs[names[0]]
+		for _, n := range names {
+			aggs[n].add(base, rs[n])
+		}
+	}
+	return aggs
+}
+
+// tableSizes resolves the batch-size and trial axes shared by Tables 2/3.
+func tableSizes(opt Options) (sizes []int, trials int) {
+	sizes = []int{25, 50, 100}
+	trials = opt.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	if opt.Fast {
+		sizes = []int{25}
+		trials = 1
+	}
+	if opt.Jobs > 0 {
+		sizes = []int{opt.Jobs}
+	}
+	return sizes, trials
+}
+
 // table2 regenerates Table 2: prototype results averaged over the six
 // grids, batch sizes {25,50,100}, metrics normalized to the
 // Spark/Kubernetes default. Paper: Decima 1.2% / 0.857 / 0.852; CAP
 // 24.7% / 1.126 / 1.996; PCAPS 32.9% / 1.013 / 1.381.
 func table2(opt Options) (*Report, error) {
 	e := newEnv(opt)
-	sizes := []int{25, 50, 100}
-	trials := e.opt.Trials
-	if trials <= 0 {
-		trials = 3
-	}
-	if e.opt.Fast {
-		sizes = []int{25}
-		trials = 1
-	}
-	if e.opt.Jobs > 0 {
-		sizes = []int{e.opt.Jobs}
-	}
+	sizes, trials := tableSizes(e.opt)
 	names := []string{"default", "Decima", "CAP", "PCAPS"}
-	aggs := map[string]*normTriple{}
-	for _, n := range names {
-		aggs[n] = &normTriple{}
-	}
-	for _, grid := range e.opt.Grids {
-		for _, size := range sizes {
-			for trial := 0; trial < trials; trial++ {
-				seed := e.opt.Seed + int64(trial)*7919 + int64(size)
-				jobs := batch(size, 30, workload.MixBoth, seed)
-				window := 60 + size // hours: generous for the batch
-				tr := e.trialTrace(grid, window)
-				mk := func(s sim.Scheduler) *sim.Result {
-					return mustRun(protoConfig(tr, seed), jobs, s)
-				}
-				base := mk(sched.NewKubeDefault())
-				aggs["default"].add(base, base)
-				aggs["Decima"].add(base, mk(sched.NewDecima(seed)))
-				aggs["CAP"].add(base, mk(sched.NewCAP(sched.NewKubeDefault(), 20)))
-				aggs["PCAPS"].add(base, mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)))
-			}
+	aggs := tableMatrix(e, sizes, trials, names, func(c matrixCell, seed int64) map[string]*sim.Result {
+		jobs := batch(c.size, 30, workload.MixBoth, seed)
+		window := 60 + c.size // hours: generous for the batch
+		tr := e.trialTrace(c.grid, window, seed)
+		mk := func(s sim.Scheduler) *sim.Result {
+			return mustRun(protoConfig(tr, seed), jobs, s)
 		}
-	}
+		return map[string]*sim.Result{
+			"default": mk(sched.NewKubeDefault()),
+			"Decima":  mk(sched.NewDecima(seed)),
+			"CAP":     mk(sched.NewCAP(sched.NewKubeDefault(), 20)),
+			"PCAPS":   mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+		}
+	})
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %13s %10s %10s   (normalized to default)\n", "scheduler", "CO2 red.", "avg ECT", "avg JCT")
 	for _, n := range names {
@@ -126,44 +170,25 @@ func table2(opt Options) (*Report, error) {
 // PCAPS 39.7%.
 func table3(opt Options) (*Report, error) {
 	e := newEnv(opt)
-	sizes := []int{25, 50, 100}
-	trials := e.opt.Trials
-	if trials <= 0 {
-		trials = 3
-	}
-	if e.opt.Fast {
-		sizes = []int{25}
-		trials = 1
-	}
-	if e.opt.Jobs > 0 {
-		sizes = []int{e.opt.Jobs}
-	}
+	sizes, trials := tableSizes(e.opt)
 	names := []string{"FIFO", "W.Fair", "Decima", "GreenHadoop", "CAP-FIFO", "CAP-W.Fair", "CAP-Decima", "PCAPS"}
-	aggs := map[string]*normTriple{}
-	for _, n := range names {
-		aggs[n] = &normTriple{}
-	}
-	for _, grid := range e.opt.Grids {
-		for _, size := range sizes {
-			for trial := 0; trial < trials; trial++ {
-				seed := e.opt.Seed + int64(trial)*7919 + int64(size)
-				jobs := batch(size, 30, workload.MixTPCH, seed)
-				tr := e.trialTrace(grid, 60+size)
-				mk := func(s sim.Scheduler) *sim.Result {
-					return mustRun(simConfig(tr, seed), jobs, s)
-				}
-				base := mk(&sched.FIFO{})
-				aggs["FIFO"].add(base, base)
-				aggs["W.Fair"].add(base, mk(&sched.WeightedFair{}))
-				aggs["Decima"].add(base, mk(sched.NewDecima(seed)))
-				aggs["GreenHadoop"].add(base, mk(sched.NewGreenHadoop()))
-				aggs["CAP-FIFO"].add(base, mk(sched.NewCAP(&sched.FIFO{}, 20)))
-				aggs["CAP-W.Fair"].add(base, mk(sched.NewCAP(&sched.WeightedFair{}, 20)))
-				aggs["CAP-Decima"].add(base, mk(sched.NewCAP(sched.NewDecima(seed), 20)))
-				aggs["PCAPS"].add(base, mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)))
-			}
+	aggs := tableMatrix(e, sizes, trials, names, func(c matrixCell, seed int64) map[string]*sim.Result {
+		jobs := batch(c.size, 30, workload.MixTPCH, seed)
+		tr := e.trialTrace(c.grid, 60+c.size, seed)
+		mk := func(s sim.Scheduler) *sim.Result {
+			return mustRun(simConfig(tr, seed), jobs, s)
 		}
-	}
+		return map[string]*sim.Result{
+			"FIFO":        mk(&sched.FIFO{}),
+			"W.Fair":      mk(&sched.WeightedFair{}),
+			"Decima":      mk(sched.NewDecima(seed)),
+			"GreenHadoop": mk(sched.NewGreenHadoop()),
+			"CAP-FIFO":    mk(sched.NewCAP(&sched.FIFO{}, 20)),
+			"CAP-W.Fair":  mk(sched.NewCAP(&sched.WeightedFair{}, 20)),
+			"CAP-Decima":  mk(sched.NewCAP(sched.NewDecima(seed), 20)),
+			"PCAPS":       mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+		}
+	})
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-14s %13s %10s %10s   (normalized to FIFO)\n", "scheduler", "CO2 red.", "avg ECT", "avg JCT")
 	for _, n := range names {

@@ -376,10 +376,14 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 	}
 	var totalWork float64
 	for idx, tpl := range jobs {
-		if err := tpl.Validate(); err != nil {
+		// Clone before validating: Validate normalizes edge lists in
+		// place, and templates are shared by concurrent runs (the
+		// experiment engine fans cells out over a worker pool), so the
+		// shared template must only ever be read.
+		j := tpl.Clone()
+		if err := j.Validate(); err != nil {
 			return nil, fmt.Errorf("sim: job %d: %w", tpl.ID, err)
 		}
-		j := tpl.Clone()
 		run := &JobRun{Job: j, Stages: make([]*StageRun, len(j.Stages)), index: idx}
 		for i, st := range j.Stages {
 			run.Stages[i] = &StageRun{Stage: st, ParentsLeft: len(st.Parents)}
