@@ -13,7 +13,11 @@ import (
 	"strings"
 	"testing"
 
+	"pcaps/internal/carbon"
+	"pcaps/internal/dag"
 	"pcaps/internal/experiments"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
 )
 
 // benchArtifact runs one artifact per benchmark iteration, fanning its
@@ -121,3 +125,114 @@ func TestBenchHarnessSmoke(t *testing.T) {
 // ablations (threshold shape, importance signal, parallelism scaling,
 // forecast error, suspend-resume baseline).
 func BenchmarkAblationSuite(b *testing.B) { benchArtifact(b, "ablation") }
+
+// Scheduling-loop microbenchmarks: unlike the artifact benchmarks above,
+// these time the simulator's hot path directly — many small stages, high
+// executor counts, and executor-holding on and off — with allocs/op
+// reported, so regressions in the incremental scheduling core (the
+// runnable index, free lists, and epoch-cached views) surface as
+// allocation or time deltas rather than as noise inside a whole artifact.
+
+// schedBatch builds a batch of fan-out jobs: one root stage feeding
+// width-1 parallel siblings, each a handful of short tasks. Small stages
+// and many of them maximize scheduling events per simulated second.
+func schedBatch(nJobs, width, tasks int, dur, interarrival float64) []*dag.Job {
+	jobs := make([]*dag.Job, 0, nJobs)
+	for i := 0; i < nJobs; i++ {
+		b := dag.NewBuilder(i, "bench")
+		root := b.Stage("", tasks, dur)
+		for s := 1; s < width; s++ {
+			b.Edge(root, b.Stage("", tasks, dur))
+		}
+		j := b.MustBuild()
+		j.Arrival = float64(i) * interarrival
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+func benchSchedLoop(b *testing.B, cfg sim.Config, jobs []*dag.Job, mk func() sim.Scheduler) {
+	b.Helper()
+	b.ReportAllocs()
+	var events int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, jobs, mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+func benchTrace(b *testing.B) sim.Config {
+	vals := make([]float64, 3600)
+	for i := range vals {
+		vals[i] = 300
+	}
+	tr, err := carbon.New("flat", 60, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim.Config{NumExecutors: 100, Trace: tr}
+}
+
+// BenchmarkSchedLoopManySmallStages is the canonical hot-path shape: a
+// wide batch of small stages under FIFO on 100 executors.
+func BenchmarkSchedLoopManySmallStages(b *testing.B) {
+	cfg := benchTrace(b)
+	jobs := schedBatch(60, 12, 3, 5, 40)
+	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return &sched.FIFO{} })
+}
+
+// BenchmarkSchedLoopHighK scales the executor count to 500, stressing
+// the executor scans that the free-list refactor removes.
+func BenchmarkSchedLoopHighK(b *testing.B) {
+	cfg := benchTrace(b)
+	cfg.NumExecutors = 500
+	jobs := schedBatch(60, 12, 3, 5, 40)
+	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return &sched.FIFO{} })
+}
+
+// BenchmarkSchedLoopDecima runs the probabilistic scheduler, whose Pick
+// recomputes a distribution over the runnable view on every call.
+func BenchmarkSchedLoopDecima(b *testing.B) {
+	cfg := benchTrace(b)
+	jobs := schedBatch(60, 12, 3, 5, 40)
+	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return sched.NewDecima(7) })
+}
+
+// BenchmarkSchedLoopHoldOff / HoldOn compare the shared-pool and
+// executor-retention regimes on the same batch. The hold benchmarks use
+// a small cluster (K=8) and 48-task stages so held executors serve several
+// task waves per stage — the regime where the hold-mode dispatch path
+// (and its historical per-task churn) dominates.
+func BenchmarkSchedLoopHoldOff(b *testing.B) {
+	cfg := benchTrace(b)
+	cfg.NumExecutors = 8
+	jobs := schedBatch(8, 5, 48, 2, 120)
+	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return &sched.FIFO{} })
+}
+
+func BenchmarkSchedLoopHoldOn(b *testing.B) {
+	cfg := benchTrace(b)
+	cfg.NumExecutors = 8
+	cfg.HoldExecutors = true
+	cfg.IdleTimeout = 60
+	jobs := schedBatch(8, 5, 48, 2, 120)
+	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return &sched.FIFO{} })
+}
+
+// BenchmarkSchedLoopHoldLegacyWakeups is HoldOn under the seed engine's
+// per-task expiry wake-up cadence (the compatibility mode the experiment
+// configs use); the events/op gap against HoldOn is the churn the
+// in-place continuation fix removes.
+func BenchmarkSchedLoopHoldLegacyWakeups(b *testing.B) {
+	cfg := benchTrace(b)
+	cfg.NumExecutors = 8
+	cfg.HoldExecutors = true
+	cfg.IdleTimeout = 60
+	cfg.LegacyHoldWakeups = true
+	jobs := schedBatch(8, 5, 48, 2, 120)
+	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return &sched.FIFO{} })
+}

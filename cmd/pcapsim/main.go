@@ -8,15 +8,20 @@
 //	pcapsim -list                  # show artifact IDs
 //	pcapsim -exp fig13 -trials 5 -seed 7
 //	pcapsim -exp table3 -grids DE,CAISO -fast
+//	pcapsim -exp all -fast -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Each report prints the regenerated rows or series next to the paper's
-// published values.
+// published values. The -cpuprofile/-memprofile flags write standard
+// pprof profiles of the run (inspect with `go tool pprof`), so hot-path
+// work on the engine needs no code edits to measure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,6 +29,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile writers execute before the
+// process exits, on success and failure alike.
+func run() int {
 	var (
 		exp      = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, or 'all')")
 		list     = flag.Bool("list", false, "list artifact IDs and exit")
@@ -33,18 +44,48 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		fast     = flag.Bool("fast", false, "shrink the experiment matrix for a quick pass")
 		parallel = flag.Int("parallel", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcapsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pcapsim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pcapsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pcapsim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "pcapsim: -exp required (or -list); e.g. pcapsim -exp table3")
-		os.Exit(2)
+		return 2
 	}
 	opt := experiments.Options{
 		Trials:   *trials,
@@ -79,7 +120,8 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcapsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "[%d artifact(s) in %.1fs]\n", printed, time.Since(start).Seconds())
+	return 0
 }

@@ -140,7 +140,10 @@ func (p *PCAPS) psi(c *sim.Cluster) *core.Psi {
 	return ps
 }
 
-// Pick implements sim.Scheduler (Alg. 1 lines 4-10).
+// Pick implements sim.Scheduler (Alg. 1 lines 4-10). The distribution's
+// refs and probs are inner-scheduler-owned scratch (valid until the next
+// Distribution call), so sampling and admission happen before any further
+// scheduling work.
 func (p *PCAPS) Pick(c *sim.Cluster) sim.Decision {
 	refs, probs := p.PB.Distribution(c)
 	if len(refs) == 0 {

@@ -15,6 +15,9 @@ type Probabilistic interface {
 	sim.Scheduler
 	// Distribution returns the runnable stage references and a matching
 	// probability vector (non-negative, summing to 1 unless empty).
+	// Both slices may be scheduler-owned scratch: they are valid only
+	// until the next Distribution or Pick call and must not be retained
+	// or modified by the caller.
 	Distribution(c *sim.Cluster) ([]sim.StageRef, []float64)
 	// PlannedLimit returns the parallelism limit the scheduler would
 	// assign the stage absent any carbon awareness (the P that PCAPS
@@ -42,6 +45,14 @@ type Decima struct {
 
 	rng *rand.Rand
 	cp  cpCache
+	// Per-Pick scratch, reused across calls: the filtered runnable refs,
+	// each ref's job-remaining-work (parallel to refs), and the score /
+	// probability vectors. Distribution returns refs and probs directly,
+	// so its results are valid only until the next Distribution call.
+	refs      []sim.StageRef
+	jobRemain []float64
+	scores    []float64
+	probs     []float64
 }
 
 // NewDecima returns a Decima-like scheduler with tuned defaults.
@@ -58,12 +69,13 @@ func (d *Decima) Name() string { return "Decima" }
 // semantics of Decima's action space).
 func (d *Decima) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 	all := c.Runnable()
-	runnable := all[:0:0]
+	runnable := d.refs[:0]
 	for _, r := range all {
 		if r.Stage.Running < d.PlannedLimit(c, r) {
 			runnable = append(runnable, r)
 		}
 	}
+	d.refs = runnable
 	if len(runnable) == 0 {
 		return nil, nil
 	}
@@ -74,23 +86,31 @@ func (d *Decima) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 	if temp <= 0 {
 		temp = 1
 	}
-	// Normalizers across the runnable set.
+	// Normalizers across the runnable set. The view is job-major, so
+	// per-job remaining work is computed once per group boundary and
+	// recorded per ref (d.jobRemain parallels runnable).
 	maxRemain := 0.0
-	remain := map[*sim.JobRun]float64{}
+	d.jobRemain = d.jobRemain[:0]
+	var lastJob *sim.JobRun
+	var lastRemain float64
 	for _, r := range runnable {
-		if _, ok := remain[r.Job]; !ok {
-			w := r.Job.RemainingWork()
-			remain[r.Job] = w
-			if w > maxRemain {
-				maxRemain = w
+		if r.Job != lastJob {
+			lastJob = r.Job
+			lastRemain = r.Job.RemainingWork()
+			if lastRemain > maxRemain {
+				maxRemain = lastRemain
 			}
 		}
+		d.jobRemain = append(d.jobRemain, lastRemain)
 	}
-	scores := make([]float64, len(runnable))
+	if cap(d.scores) < len(runnable) {
+		d.scores = make([]float64, len(runnable))
+	}
+	scores := d.scores[:len(runnable)]
 	maxScore := math.Inf(-1)
 	for i, r := range runnable {
 		cp := d.cp.get(r.Job)
-		jobRemain := remain[r.Job]
+		jobRemain := d.jobRemain[i]
 		cpNorm := 0.0
 		if jobRemain > 0 {
 			cpNorm = cp[r.Stage.Stage.ID] / jobRemain
@@ -108,7 +128,10 @@ func (d *Decima) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 		}
 	}
 	// Masked softmax (runnable stages only), stabilized by max-shift.
-	probs := make([]float64, len(scores))
+	if cap(d.probs) < len(scores) {
+		d.probs = make([]float64, len(scores))
+	}
+	probs := d.probs[:len(scores)]
 	var sum float64
 	for i, s := range scores {
 		probs[i] = math.Exp(s - maxScore)
@@ -199,6 +222,9 @@ type UniformPB struct {
 	// Seed drives sampling.
 	Seed int64
 	rng  *rand.Rand
+	// probs is per-call scratch; Distribution's results are valid only
+	// until its next call.
+	probs []float64
 }
 
 // Name implements sim.Scheduler.
@@ -211,7 +237,10 @@ func (u *UniformPB) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 	if len(runnable) == 0 {
 		return nil, nil
 	}
-	probs := make([]float64, len(runnable))
+	if cap(u.probs) < len(runnable) {
+		u.probs = make([]float64, len(runnable))
+	}
+	probs := u.probs[:len(runnable)]
 	for i := range probs {
 		probs[i] = 1 / float64(len(runnable))
 	}

@@ -31,6 +31,9 @@ func NewGreenHadoop() *GreenHadoop { return &GreenHadoop{Theta: 0.5} }
 func (g *GreenHadoop) Name() string { return "GreenHadoop" }
 
 // executorBudget computes the number of executors permitted right now.
+// OutstandingWork is an epoch-cached cluster view, so the repeated budget
+// evaluations within one scheduling event cost one pass over the active
+// jobs in total.
 func (g *GreenHadoop) executorBudget(c *sim.Cluster) int {
 	theta := g.Theta
 	if theta < 0 {

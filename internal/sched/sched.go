@@ -4,6 +4,14 @@
 // probabilistic scheduler (the ML-scheduler substitution documented in
 // DESIGN.md), the adapted GreenHadoop baseline (Appendix A.1.1), and the
 // carbon-aware wrappers CAP and PCAPS from internal/core.
+//
+// All policies are written against the simulator's view API: the slices
+// returned by Cluster.Runnable and Cluster.ActiveJobs are cluster-owned,
+// epoch-cached views that are only valid for the duration of the current
+// Pick call. Policies therefore never retain them, and keep their own
+// per-instance scratch buffers for derived state, so a Pick call
+// allocates nothing on the steady path. A scheduler instance may be used
+// by only one run at a time (the experiment engine builds one per cell).
 package sched
 
 import (
@@ -47,6 +55,13 @@ func (f *FIFO) Pick(c *sim.Cluster) sim.Decision {
 // cluster, mirroring how Kubernetes enforces it outside Spark.
 func NewKubeDefault() *FIFO { return &FIFO{Label: "default"} }
 
+// wfJobInfo is WeightedFair's per-job scratch record.
+type wfJobInfo struct {
+	job    *sim.JobRun
+	weight float64
+	target float64
+}
+
 // WeightedFair assigns executors across jobs by workload-derived weights,
 // mirroring the simulator heuristic of [48] ("a heuristic tuned for the
 // simulator's test jobs"). Within a job it prefers the stage heading the
@@ -60,6 +75,8 @@ type WeightedFair struct {
 	Exponent float64
 
 	cp cpCache
+	// infos is per-Pick scratch, reused across calls.
+	infos []wfJobInfo
 }
 
 // Name implements sim.Scheduler.
@@ -76,23 +93,21 @@ func (w *WeightedFair) Pick(c *sim.Cluster) sim.Decision {
 		exp = -0.5
 	}
 	// Compute each active job's weight and deficit (target − current).
-	type jobInfo struct {
-		job    *sim.JobRun
-		weight float64
-		target float64
-	}
-	var infos []jobInfo
+	// The runnable view is job-major (arrival order, stages grouped), so
+	// jobs are deduplicated at group boundaries without a set.
+	w.infos = w.infos[:0]
 	var totalWeight float64
-	seen := map[*sim.JobRun]bool{}
+	var lastJob *sim.JobRun
 	for _, ref := range runnable {
-		if seen[ref.Job] {
+		if ref.Job == lastJob {
 			continue
 		}
-		seen[ref.Job] = true
+		lastJob = ref.Job
 		wt := math.Pow(math.Max(ref.Job.RemainingWork(), 1), exp)
-		infos = append(infos, jobInfo{job: ref.Job, weight: wt})
+		w.infos = append(w.infos, wfJobInfo{job: ref.Job, weight: wt})
 		totalWeight += wt
 	}
+	infos := w.infos
 	var best *sim.JobRun
 	bestDeficit := math.Inf(-1)
 	bestTarget := 1.0
@@ -105,11 +120,8 @@ func (w *WeightedFair) Pick(c *sim.Cluster) sim.Decision {
 			bestTarget = infos[i].target
 		}
 	}
-	if bestDeficit <= 0 {
-		// Every job is at or above its fair share; let the work proceed
-		// anyway (work-conserving) on the most underserved job.
-		_ = best
-	}
+	// When every job is at or above its fair share, the work still
+	// proceeds (work-conserving) on the most underserved job.
 	// Within the chosen job, pick the runnable stage with the heaviest
 	// downstream critical-path work.
 	cp := w.cp.get(best)

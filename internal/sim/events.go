@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 type eventKind int
 
 const (
@@ -22,7 +20,11 @@ type event struct {
 
 // eventHeap is a min-heap on (at, seq). The sequence number makes
 // simultaneous events process in insertion order, which keeps runs
-// bit-for-bit reproducible.
+// bit-for-bit reproducible. The heap is hand-rolled rather than built on
+// container/heap: the standard interface passes elements as `any`, which
+// boxes every pushed event onto the GC heap — one allocation per event on
+// the simulator's hottest path. Sift operations on the concrete slice
+// allocate nothing.
 type eventHeap struct {
 	items []event
 	seq   int
@@ -30,31 +32,107 @@ type eventHeap struct {
 
 func (h *eventHeap) Len() int { return len(h.items) }
 
-func (h *eventHeap) Less(i, j int) bool {
+func (h *eventHeap) less(i, j int) bool {
 	if h.items[i].at != h.items[j].at {
 		return h.items[i].at < h.items[j].at
 	}
 	return h.items[i].seq < h.items[j].seq
 }
 
-func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
 
-func (h *eventHeap) Push(x any) { h.items = append(h.items, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+func (h *eventHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		i = min
+	}
 }
 
 func (c *Cluster) push(ev event) {
-	ev.seq = c.events.seq
-	c.events.seq++
-	heap.Push(&c.events, ev)
+	h := &c.events
+	ev.seq = h.seq
+	h.seq++
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
 }
 
 func (c *Cluster) pop() event {
-	return heap.Pop(&c.events).(event)
+	h := &c.events
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = event{} // drop pointers so finished runs free their jobs
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// intHeap is an allocation-free min-heap of executor IDs. The simulator
+// uses two: the shared idle pool and the reserved-but-idle set
+// (HoldExecutors mode). Popping in ascending-ID order reproduces exactly
+// the executor ordering of the historical O(K) scans, which is what keeps
+// the incremental core byte-identical to the seed engine.
+type intHeap []int
+
+func (h *intHeap) push(v int) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *intHeap) pop() int {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s[r] < s[l] {
+			min = r
+		}
+		if s[min] >= s[i] {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	*h = s
+	return top
 }

@@ -10,6 +10,15 @@
 // Carbon accounting is ex post facto as in §5.2: busy executor-seconds are
 // accumulated per carbon interval while the simulation runs and converted
 // to gCO2eq afterwards, so accounting never perturbs scheduling.
+//
+// The scheduling core is incremental (see DESIGN.md): the cluster
+// maintains a per-job runnable-stage index, an idle-executor free list,
+// and per-job held-executor lists, all updated only at the transitions
+// that can change them — job arrival, task dispatch, stage finish,
+// hold expiry, and job completion. The Runnable/ActiveJobs/
+// OutstandingWork accessors are epoch-cached views over that state, so
+// the repeated Pick calls within one scheduling event cost no allocations
+// and no full-state rescans.
 package sim
 
 import (
@@ -60,6 +69,21 @@ type Config struct {
 	// the job's whole lifetime (standalone mode without dynamic
 	// allocation).
 	IdleTimeout float64
+	// LegacyHoldWakeups restores the seed engine's hold-mode task
+	// hand-off: every task completion released the executor to the job's
+	// held pool, re-dispatched it through the in-application FIFO at the
+	// same instant, and scheduled an idle-timeout expiry event — so each
+	// task produced an extra (almost always stale) expiry event whose
+	// processing was itself a scheduling event. Those spurious wake-ups
+	// are observable to deferring schedulers (CAP, PCAPS, GreenHadoop):
+	// each is an extra decision point at which a deferral can be
+	// reconsidered. The published experiment tables were produced under
+	// that cadence, so the experiment configs set this flag for
+	// byte-identical reproduction; new work should leave it false and
+	// get the fixed behaviour — a hold-dispatched stage keeps its
+	// executor across task waves (the in-place continuation), with no
+	// per-task expiry churn. See DESIGN.md.
+	LegacyHoldWakeups bool
 	// DurationJitter is the relative standard deviation of task
 	// durations (0 = deterministic).
 	DurationJitter float64
@@ -121,6 +145,16 @@ type JobRun struct {
 	CompletedAt float64
 	// CarbonGrams accumulates the job's attributed carbon footprint.
 	CarbonGrams float64
+
+	// runnable is the incrementally maintained index of this job's
+	// runnable stages (all parents complete, undispatched tasks left),
+	// sorted by stage ID. Stages enter on arrival or when their last
+	// parent finishes, and leave when their last task is dispatched.
+	runnable []*StageRun
+	// held lists the executors this job is retaining between tasks
+	// (HoldExecutors mode), so hold-mode dispatch and job-completion
+	// release never scan the whole cluster.
+	held []*executor
 }
 
 // RemainingWork returns the job's undone work in executor-seconds,
@@ -182,6 +216,12 @@ type executor struct {
 	holdExpire float64
 	// lastJob remembers the previous binding for move-delay accounting.
 	lastJob *JobRun
+	// heldPos is this executor's index in reserved.held, for O(1)
+	// removal. Meaningless when reserved is nil.
+	heldPos int
+	// inReservedIdle marks that the executor's ID is present in the
+	// cluster's reservedIdle heap (entries are removed lazily).
+	inReservedIdle bool
 }
 
 // Cluster is the simulation state exposed to schedulers.
@@ -197,6 +237,32 @@ type Cluster struct {
 	// quota decisions see activeCount — held executors burn power.
 	busyCount   int
 	activeCount int
+
+	// free holds the IDs of executors in the shared idle pool, popped in
+	// ascending order so assignment matches the historical full scan.
+	free intHeap
+	// reservedIdle holds the IDs of executors that are held by a job and
+	// awaiting work (HoldExecutors mode). Entries go stale when an
+	// executor is released or dispatched; staleness is detected on pop
+	// via the executor's own state, and inReservedIdle keeps each ID at
+	// most once in the heap.
+	reservedIdle intHeap
+	// reservedScratch is reused by dispatchReserved's drain.
+	reservedScratch []int
+	// active lists arrived, incomplete jobs in batch order — the
+	// incremental form of the historical scan over all jobs.
+	active []*JobRun
+
+	// epoch counts state mutations that can change the scheduler-facing
+	// views; the cached views below are rebuilt (into reused scratch)
+	// only when their epoch falls behind. Within one scheduling event a
+	// scheduler may call Runnable/ActiveJobs/OutstandingWork any number
+	// of times for free.
+	epoch            int
+	runnableEpoch    int
+	runnableView     []StageRef
+	outstandingEpoch int
+	outstanding      float64
 
 	// usage[i] is busy executor-seconds accumulated during carbon
 	// interval i.
@@ -257,47 +323,56 @@ func (c *Cluster) IdleCount() int { return len(c.execs) - c.activeCount }
 // ones; check Arrived/Done).
 func (c *Cluster) Jobs() []*JobRun { return c.jobs }
 
+// invalidate marks every cached view stale. It must be called (at least
+// once) on any state change that can alter what schedulers observe:
+// arrivals, task dispatch, task completion, executor release, hold
+// expiry, and job completion.
+func (c *Cluster) invalidate() { c.epoch++ }
+
 // ActiveJobs returns arrived, incomplete jobs in arrival order.
-func (c *Cluster) ActiveJobs() []*JobRun {
-	var out []*JobRun
-	for _, j := range c.jobs {
-		if j.Arrived && !j.Done {
-			out = append(out, j)
-		}
-	}
-	return out
-}
+//
+// The returned slice is a live view owned by the cluster: it is valid
+// until the next state change (in practice, until the scheduler's Pick
+// returns) and must not be retained or modified.
+func (c *Cluster) ActiveJobs() []*JobRun { return c.active }
 
 // Runnable returns references to every stage that can accept work:
 // arrived job, all parents complete, undispatched tasks remaining, and
 // per-job cap not exhausted. Order is deterministic (job arrival order,
 // then stage ID).
+//
+// The returned slice is an epoch-cached view owned by the cluster:
+// repeated calls within one scheduling event return the same backing
+// array without rebuilding. It is valid until the next state change and
+// must not be retained or modified.
 func (c *Cluster) Runnable() []StageRef {
-	var out []StageRef
-	for _, j := range c.jobs {
-		if !j.Arrived || j.Done {
-			continue
-		}
-		if c.cfg.PerJobCap > 0 && j.Executors >= c.cfg.PerJobCap {
-			continue
-		}
-		for _, s := range j.Stages {
-			if s.Runnable() {
-				out = append(out, StageRef{Job: j, Stage: s})
+	if c.runnableEpoch != c.epoch {
+		c.runnableView = c.runnableView[:0]
+		for _, j := range c.active {
+			if c.cfg.PerJobCap > 0 && j.Executors >= c.cfg.PerJobCap {
+				continue
+			}
+			for _, s := range j.runnable {
+				c.runnableView = append(c.runnableView, StageRef{Job: j, Stage: s})
 			}
 		}
+		c.runnableEpoch = c.epoch
 	}
-	return out
+	return c.runnableView
 }
 
 // OutstandingWork returns total undone work across active jobs, in
-// executor-seconds.
+// executor-seconds. The sum is epoch-cached alongside the other views.
 func (c *Cluster) OutstandingWork() float64 {
-	var w float64
-	for _, j := range c.ActiveJobs() {
-		w += j.RemainingWork()
+	if c.outstandingEpoch != c.epoch {
+		var w float64
+		for _, j := range c.active {
+			w += j.RemainingWork()
+		}
+		c.outstanding = w
+		c.outstandingEpoch = c.epoch
 	}
-	return w
+	return c.outstanding
 }
 
 // NoteDeferral lets carbon-aware wrapper schedulers record a filtered
@@ -367,10 +442,16 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 		return nil, fmt.Errorf("sim: failure rate %v outside [0, 0.9]", cfg.FailureRate)
 	}
 
-	c := &Cluster{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c := &Cluster{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), epoch: 1}
+	c.execs = make([]*executor, cfg.NumExecutors)
+	c.free = make(intHeap, 0, cfg.NumExecutors)
 	for i := 0; i < cfg.NumExecutors; i++ {
-		c.execs = append(c.execs, &executor{id: i})
+		c.execs[i] = &executor{id: i}
+		c.free.push(i)
 	}
+	// Preallocate the usage timeline to the trace length so the per-event
+	// accounting in advance never grows it.
+	c.usage = make([]float64, 0, len(cfg.Trace.Values))
 	if cfg.TrackJobUsage {
 		c.jobUsage = make([][]float64, len(jobs))
 	}
@@ -408,7 +489,7 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 		c.advance(ev.at)
 		switch ev.kind {
 		case evArrival:
-			ev.job.Arrived = true
+			c.arrive(ev.job)
 		case evTaskDone:
 			c.completeTask(ev.exec)
 		case evCarbon:
@@ -476,6 +557,53 @@ func (c *Cluster) unfinished() bool {
 // noTaskPending reports whether no task-completion events remain.
 func (c *Cluster) noTaskPending() bool { return c.busyCount == 0 }
 
+// arrive activates a job: it joins the active list (kept in batch order)
+// and its root stages enter the runnable index.
+func (c *Cluster) arrive(j *JobRun) {
+	j.Arrived = true
+	i := len(c.active)
+	for i > 0 && c.active[i-1].index > j.index {
+		i--
+	}
+	c.active = append(c.active, nil)
+	copy(c.active[i+1:], c.active[i:])
+	c.active[i] = j
+	j.runnable = make([]*StageRun, 0, len(j.Stages))
+	for _, s := range j.Stages {
+		if s.ParentsLeft == 0 {
+			j.runnable = append(j.runnable, s)
+		}
+	}
+	c.invalidate()
+}
+
+// noteDispatch records one task hand-off on the stage; a fully dispatched
+// stage leaves the runnable index.
+func (c *Cluster) noteDispatch(j *JobRun, st *StageRun) {
+	st.Dispatched++
+	if st.Dispatched >= st.Stage.NumTasks {
+		for i, s := range j.runnable {
+			if s == st {
+				j.runnable = append(j.runnable[:i], j.runnable[i+1:]...)
+				break
+			}
+		}
+	}
+	c.invalidate()
+}
+
+// insertRunnable adds a newly ready stage to the job's runnable index,
+// keeping stage-ID order (the in-application FIFO order).
+func (c *Cluster) insertRunnable(j *JobRun, st *StageRun) {
+	i := len(j.runnable)
+	for i > 0 && j.runnable[i-1].Stage.ID > st.Stage.ID {
+		i--
+	}
+	j.runnable = append(j.runnable, nil)
+	copy(j.runnable[i+1:], j.runnable[i:])
+	j.runnable[i] = st
+}
+
 // advance moves the clock to t, accumulating busy executor-seconds into
 // the per-carbon-interval usage timeline and per-job carbon attribution.
 func (c *Cluster) advance(t float64) {
@@ -509,6 +637,9 @@ func (c *Cluster) advance(t float64) {
 				j.CarbonGrams += grams
 				if c.jobUsage != nil {
 					row := c.jobUsage[j.index]
+					if row == nil {
+						row = make([]float64, 0, len(tr.Values))
+					}
 					for len(row) <= idx {
 						row = append(row, 0)
 					}
@@ -558,7 +689,8 @@ func (c *Cluster) schedule(s Scheduler) error {
 
 // assign binds idle executors to the decision's stage, honouring the
 // parallelism limit, remaining tasks, and per-job cap. It returns the
-// number of executors bound.
+// number of executors bound. Executors come off the free list in
+// ascending-ID order, matching the historical whole-cluster scan.
 func (c *Cluster) assign(d Decision) int {
 	j, st := d.Ref.Job, d.Ref.Stage
 	if !j.Arrived || j.Done || !st.Runnable() {
@@ -570,10 +702,7 @@ func (c *Cluster) assign(d Decision) int {
 	}
 	st.Limit = limit
 	n := 0
-	for _, e := range c.execs {
-		if e.busy || e.reserved != nil {
-			continue
-		}
+	for len(c.free) > 0 {
 		if d.MaxNew > 0 && n >= d.MaxNew {
 			break
 		}
@@ -583,7 +712,7 @@ func (c *Cluster) assign(d Decision) int {
 		if c.cfg.PerJobCap > 0 && j.Executors >= c.cfg.PerJobCap {
 			break
 		}
-		c.bind(e, j, st)
+		c.bind(c.execs[c.free.pop()], j, st)
 		n++
 	}
 	return n
@@ -591,26 +720,51 @@ func (c *Cluster) assign(d Decision) int {
 
 // dispatchReserved lets every job-held executor pull a task from its
 // job's runnable stages (in-application FIFO: lowest stage ID first).
+// Executors are drained from the reserved-idle heap in ascending-ID order
+// — the order of the historical cluster scan — and those whose job has
+// nothing runnable go back to waiting.
 func (c *Cluster) dispatchReserved() {
-	for _, e := range c.execs {
+	if len(c.reservedIdle) == 0 {
+		return
+	}
+	ids := c.reservedScratch[:0]
+	for len(c.reservedIdle) > 0 {
+		id := c.reservedIdle.pop()
+		e := c.execs[id]
+		e.inReservedIdle = false
+		if e.busy || e.reserved == nil {
+			continue // stale entry: released or re-bound since pushed
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		e := c.execs[id]
 		j := e.reserved
-		if j == nil || e.busy {
+		if len(j.runnable) == 0 {
+			c.reservedIdle.push(id)
+			e.inReservedIdle = true
 			continue
 		}
-		for _, st := range j.Stages {
-			if st.Runnable() {
-				e.reserved = nil
-				e.busy = true
-				e.job = j
-				e.stage = st
-				c.busyCount++
-				st.Running++
-				st.Dispatched++
-				c.push(event{at: c.clock + c.taskDuration(st), kind: evTaskDone, exec: e})
-				break
-			}
+		st := j.runnable[0]
+		// Give the stage the in-application FIFO's "no limit" so the
+		// executor continues in place across its task waves instead of
+		// bouncing through release → re-reserve → expiry on every task.
+		// The legacy mode keeps the limit unset, reproducing the seed
+		// engine's per-task wake-up cadence (see Config.LegacyHoldWakeups).
+		if !c.cfg.LegacyHoldWakeups && st.Limit == 0 {
+			st.Limit = st.Stage.NumTasks
 		}
+		c.releaseHeld(e)
+		e.reserved = nil
+		e.busy = true
+		e.job = j
+		e.stage = st
+		c.busyCount++
+		st.Running++
+		c.noteDispatch(j, st)
+		c.push(event{at: c.clock + c.taskDuration(st), kind: evTaskDone, exec: e})
 	}
+	c.reservedScratch = ids[:0]
 }
 
 // bind starts a free-pool executor on the stage's next task.
@@ -626,7 +780,7 @@ func (c *Cluster) bind(e *executor, j *JobRun, st *StageRun) {
 	c.activeCount++
 	j.Executors++
 	st.Running++
-	st.Dispatched++
+	c.noteDispatch(j, st)
 	c.push(event{at: c.clock + delay + c.taskDuration(st), kind: evTaskDone, exec: e})
 }
 
@@ -655,12 +809,13 @@ func (c *Cluster) completeTask(e *executor) {
 		return
 	}
 	st.Completed++
+	c.invalidate()
 	if st.Completed == st.Stage.NumTasks {
 		c.finishStage(j, st)
 	}
 	// Continue on the same stage when tasks remain and the limit holds.
 	if st.RemainingTasks() > 0 && st.Running <= st.Limit {
-		st.Dispatched++
+		c.noteDispatch(j, st)
 		c.push(event{at: c.clock + c.taskDuration(st), kind: evTaskDone, exec: e})
 		return
 	}
@@ -673,19 +828,44 @@ func (c *Cluster) completeTask(e *executor) {
 	st.Running--
 	c.busyCount--
 	if c.cfg.HoldExecutors && !j.Done {
-		e.reserved = j
-		if c.cfg.IdleTimeout >= 0 {
-			timeout := c.cfg.IdleTimeout
-			if timeout == 0 {
-				timeout = 60 // Spark's executorIdleTimeout default
-			}
-			e.holdExpire = c.clock + timeout
-			c.push(event{at: e.holdExpire, kind: evHoldExpire, exec: e})
-		}
+		c.holdExecutor(e, j)
 		return // still active: the job holds the executor
 	}
 	j.Executors--
 	c.activeCount--
+	c.free.push(e.id)
+}
+
+// holdExecutor parks a just-released executor in its job's held pool and
+// schedules the idle-timeout expiry (hold-for-lifetime when IdleTimeout
+// is negative).
+func (c *Cluster) holdExecutor(e *executor, j *JobRun) {
+	e.reserved = j
+	e.heldPos = len(j.held)
+	j.held = append(j.held, e)
+	if !e.inReservedIdle {
+		c.reservedIdle.push(e.id)
+		e.inReservedIdle = true
+	}
+	if c.cfg.IdleTimeout >= 0 {
+		timeout := c.cfg.IdleTimeout
+		if timeout == 0 {
+			timeout = 60 // Spark's executorIdleTimeout default
+		}
+		e.holdExpire = c.clock + timeout
+		c.push(event{at: e.holdExpire, kind: evHoldExpire, exec: e})
+	}
+}
+
+// releaseHeld unlinks the executor from its reserving job's held list.
+func (c *Cluster) releaseHeld(e *executor) {
+	held := e.reserved.held
+	last := len(held) - 1
+	moved := held[last]
+	held[e.heldPos] = moved
+	moved.heldPos = e.heldPos
+	held[last] = nil
+	e.reserved.held = held[:last]
 }
 
 // expireHold releases a still-reserved executor whose idle window lapsed.
@@ -695,9 +875,13 @@ func (c *Cluster) expireHold(e *executor) {
 	if e.reserved == nil || e.busy || c.clock < e.holdExpire {
 		return
 	}
-	e.reserved.Executors--
+	j := e.reserved
+	c.releaseHeld(e)
 	e.reserved = nil
+	j.Executors--
 	c.activeCount--
+	c.free.push(e.id)
+	c.invalidate()
 }
 
 // finishStage propagates completion to children and detects job
@@ -705,19 +889,33 @@ func (c *Cluster) expireHold(e *executor) {
 func (c *Cluster) finishStage(j *JobRun, st *StageRun) {
 	j.StagesDone++
 	for _, childID := range st.Stage.Children {
-		j.Stages[childID].ParentsLeft--
+		child := j.Stages[childID]
+		child.ParentsLeft--
+		if child.ParentsLeft == 0 {
+			c.insertRunnable(j, child)
+		}
 	}
 	if j.StagesDone == len(j.Stages) {
 		j.Done = true
 		j.CompletedAt = c.clock
 		// Release every executor the job was holding (standalone mode).
-		for _, e := range c.execs {
-			if e.reserved == j {
-				e.reserved = nil
-				e.lastJob = j
-				j.Executors--
-				c.activeCount--
+		for _, e := range j.held {
+			e.reserved = nil
+			e.lastJob = j
+			j.Executors--
+			c.activeCount--
+			c.free.push(e.id)
+		}
+		j.held = j.held[:0]
+		j.runnable = j.runnable[:0]
+		for i, job := range c.active {
+			if job == j {
+				copy(c.active[i:], c.active[i+1:])
+				c.active[len(c.active)-1] = nil
+				c.active = c.active[:len(c.active)-1]
+				break
 			}
 		}
 	}
+	c.invalidate()
 }
