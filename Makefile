@@ -14,12 +14,12 @@ vet:
 	$(GO) vet ./...
 
 # bench runs the full artifact benchmark harness plus the scheduling-loop
-# microbenchmarks (root bench_test.go) and records the machine-readable
-# event stream as $(BENCH_OUT), extending the performance trajectory
-# started in BENCH_1.json (BENCH_<n>.json per PR that touches the hot
-# path). Human-readable output goes to the terminal via the test summary
-# inside the JSON events.
-BENCH_OUT ?= BENCH_2.json
+# and federation microbenchmarks (root bench_test.go) and records the
+# machine-readable event stream as $(BENCH_OUT), extending the
+# performance trajectory started in BENCH_1.json (BENCH_<n>.json per PR
+# that touches the hot path). Human-readable output goes to the terminal
+# via the test summary inside the JSON events.
+BENCH_OUT ?= BENCH_3.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -json . > $(BENCH_OUT)

@@ -16,6 +16,7 @@ import (
 	"pcaps/internal/carbon"
 	"pcaps/internal/dag"
 	"pcaps/internal/experiments"
+	"pcaps/internal/federation"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 )
@@ -235,4 +236,73 @@ func BenchmarkSchedLoopHoldLegacyWakeups(b *testing.B) {
 	cfg.LegacyHoldWakeups = true
 	jobs := schedBatch(8, 5, 48, 2, 120)
 	benchSchedLoop(b, cfg, jobs, func() sim.Scheduler { return &sched.FIFO{} })
+}
+
+// Federation microbenchmarks: the multi-grid routing layer in front of
+// the member clusters. BenchmarkFederationSchedLoop times a whole
+// federated run (routing fold + K member simulations);
+// BenchmarkFederationRouting isolates the per-arrival router decision,
+// the only new per-job cost the layer adds on top of the engine.
+
+func benchFederationClusters(b *testing.B) []federation.ClusterSpec {
+	b.Helper()
+	mk := func(grid string, base, swing float64) federation.ClusterSpec {
+		vals := make([]float64, 3600)
+		for i := range vals {
+			if i%24 < 12 {
+				vals[i] = base - swing
+			} else {
+				vals[i] = base + swing
+			}
+		}
+		tr, err := carbon.New(grid, 60, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return federation.ClusterSpec{
+			Grid:         grid,
+			Trace:        tr,
+			Config:       sim.Config{NumExecutors: 50},
+			NewScheduler: func(int64) sim.Scheduler { return &sched.FIFO{} },
+		}
+	}
+	return []federation.ClusterSpec{
+		mk("low", 120, 60),
+		mk("mid", 350, 150),
+		mk("high", 650, 80),
+	}
+}
+
+func BenchmarkFederationSchedLoop(b *testing.B) {
+	clusters := benchFederationClusters(b)
+	jobs := schedBatch(45, 8, 4, 5, 40)
+	b.ReportAllocs()
+	var grams float64
+	for i := 0; i < b.N; i++ {
+		f := &federation.Federation{Clusters: clusters, Router: federation.NewForecastAware(), Seed: 42}
+		res, err := f.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grams = res.Summary.CarbonGrams
+	}
+	b.ReportMetric(grams, "gCO2eq")
+}
+
+func BenchmarkFederationRouting(b *testing.B) {
+	r := federation.NewForecastAware()
+	states := []federation.ClusterState{
+		{Index: 0, Intensity: 120, Low: 90, High: 180},
+		{Index: 1, Intensity: 350, Low: 200, High: 500},
+		{Index: 2, Intensity: 650, Low: 570, High: 730},
+		{Index: 3, Intensity: 90, Low: 60, High: 140},
+		{Index: 4, Intensity: 420, Low: 300, High: 520},
+		{Index: 5, Intensity: 700, Low: 590, High: 800},
+	}
+	job := federation.JobInfo{Arrival: 0, Work: 1200, CriticalPath: 90}
+	b.ReportAllocs()
+	r.Reset()
+	for i := 0; i < b.N; i++ {
+		_ = r.Route(job, states)
+	}
 }

@@ -8,6 +8,8 @@
 //	pcapsim -list                  # show artifact IDs
 //	pcapsim -exp fig13 -trials 5 -seed 7
 //	pcapsim -exp table3 -grids DE,CAISO -fast
+//	pcapsim -exp federation        # multi-grid routing vs single-grid baselines
+//	pcapsim -exp federation -grids CAISO,DE  # one custom scenario
 //	pcapsim -exp all -fast -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // Each report prints the regenerated rows or series next to the paper's
@@ -36,7 +38,7 @@ func main() {
 // process exits, on success and failure alike.
 func run() int {
 	var (
-		exp      = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, or 'all')")
+		exp      = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, ablation, federation, or 'all')")
 		list     = flag.Bool("list", false, "list artifact IDs and exit")
 		grids    = flag.String("grids", "", "comma-separated grid subset (default: all six)")
 		trials   = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")

@@ -13,8 +13,11 @@
 package carbonapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -92,15 +95,26 @@ func floatParam(r *http.Request, name string, def float64) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad %s: %w", name, err)
 	}
+	// ParseFloat accepts "NaN" and "Inf", which defeat range checks (NaN
+	// comparisons are false) and int conversions downstream.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad %s: non-finite value %v", name, v)
+	}
 	return v, nil
 }
 
+// writeJSON encodes v into a buffer before touching the ResponseWriter,
+// so an encode failure (e.g. a non-finite float, which encoding/json
+// rejects) becomes a logged 500 instead of a silent empty 200 body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Too late for an HTTP error; the connection is likely gone.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		log.Printf("carbonapi: encoding %T response: %v", v, err)
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
 		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
@@ -130,11 +144,34 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	at, err1 := floatParam(r, "at", 0)
-	horizon, err2 := floatParam(r, "horizon", 48*t.Interval)
-	if err1 != nil || err2 != nil {
-		http.Error(w, "bad at/horizon parameter", http.StatusBadRequest)
+	at, err := floatParam(r, "at", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	horizon, err := floatParam(r, "horizon", 48*t.Interval)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if horizon <= 0 {
+		// A non-positive window would invert Trace.Bounds into
+		// (+Inf, -Inf), which JSON cannot carry.
+		http.Error(w, fmt.Sprintf("non-positive horizon %v", horizon), http.StatusBadRequest)
+		return
+	}
+	// Clamp the window to the replayed trace so requests at or past the
+	// trace end degenerate to the trace's final value instead of an
+	// inverted scan.
+	end := t.Duration()
+	if at < 0 {
+		at = 0
+	}
+	if at > end {
+		at = end
+	}
+	if at+horizon > end {
+		horizon = end - at
 	}
 	lo, hi := t.Bounds(at, horizon)
 	writeJSON(w, ForecastResponse{Grid: grid, From: at, Horizon: horizon, Low: lo, High: hi})
@@ -145,11 +182,25 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	from, err1 := floatParam(r, "from", 0)
-	n, err2 := floatParam(r, "n", float64(len(t.Values)))
-	if err1 != nil || err2 != nil || n < 1 {
-		http.Error(w, "bad from/n parameter", http.StatusBadRequest)
+	from, err := floatParam(r, "from", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+	n, err := floatParam(r, "n", float64(len(t.Values)))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if n < 1 {
+		http.Error(w, fmt.Sprintf("n must be at least 1, got %v", n), http.StatusBadRequest)
+		return
+	}
+	// Clamp before converting: int(n) for n beyond MaxInt64 is
+	// implementation-defined (MinInt64 on amd64) and would invert the
+	// slice bounds below.
+	if n > float64(len(t.Values)) {
+		n = float64(len(t.Values))
 	}
 	i0 := t.Index(from)
 	i1 := i0 + int(n)

@@ -2,8 +2,12 @@ package carbonapi
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"pcaps/internal/carbon"
@@ -121,6 +125,134 @@ func TestErrorPaths(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad n param: status %d", resp.StatusCode)
+	}
+}
+
+// TestForecastParamValidation covers the hardened /v1/forecast error
+// paths: before validation, a non-positive horizon inverted Trace.Bounds
+// into (+Inf, -Inf), json.Encoder refused the payload, and clients got
+// an empty 200.
+func TestForecastParamValidation(t *testing.T) {
+	srv, _ := testServer(t) // DE = {400, 300, 200, 500} @ 60 s
+	tests := []struct {
+		name       string
+		query      string
+		wantStatus int
+		wantBody   string // substring of the error body
+		wantLo     float64
+		wantHi     float64
+	}{
+		{name: "zero horizon", query: "grid=DE&horizon=0", wantStatus: 400, wantBody: "non-positive horizon"},
+		{name: "negative horizon", query: "grid=DE&horizon=-60", wantStatus: 400, wantBody: "non-positive horizon"},
+		{name: "bad at", query: "grid=DE&at=abc&horizon=60", wantStatus: 400, wantBody: "bad at"},
+		{name: "bad horizon", query: "grid=DE&at=0&horizon=abc", wantStatus: 400, wantBody: "bad horizon"},
+		{name: "NaN horizon", query: "grid=DE&horizon=NaN", wantStatus: 400, wantBody: "bad horizon: non-finite"},
+		{name: "Inf at", query: "grid=DE&at=Inf&horizon=60", wantStatus: 400, wantBody: "bad at: non-finite"},
+		{name: "unknown grid", query: "grid=XX&horizon=60", wantStatus: 404, wantBody: "unknown grid"},
+		{name: "at past trace end clamps", query: "grid=DE&at=1e9&horizon=120", wantStatus: 200, wantLo: 500, wantHi: 500},
+		{name: "negative at clamps", query: "grid=DE&at=-500&horizon=60", wantStatus: 200, wantLo: 300, wantHi: 400},
+		{name: "horizon past end clamps", query: "grid=DE&at=180&horizon=1e12", wantStatus: 200, wantLo: 500, wantHi: 500},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Get(srv.URL + "/v1/forecast?" + tt.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tt.wantStatus {
+				t.Fatalf("status = %d, want %d (body %q)", resp.StatusCode, tt.wantStatus, body)
+			}
+			if len(body) == 0 {
+				t.Fatal("empty response body")
+			}
+			if tt.wantStatus != http.StatusOK {
+				if !strings.Contains(string(body), tt.wantBody) {
+					t.Fatalf("body %q missing %q", body, tt.wantBody)
+				}
+				return
+			}
+			var out ForecastResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatalf("decoding %q: %v", body, err)
+			}
+			if out.Low != tt.wantLo || out.High != tt.wantHi {
+				t.Fatalf("bounds = (%v, %v), want (%v, %v)", out.Low, out.High, tt.wantLo, tt.wantHi)
+			}
+		})
+	}
+}
+
+// TestForecastErrorVisibleToClient checks the client surfaces the
+// server-side validation instead of decoding an empty body.
+func TestForecastErrorVisibleToClient(t *testing.T) {
+	srv, _ := testServer(t)
+	c := NewClient(srv.URL)
+	_, _, err := c.Forecast(context.Background(), "DE", 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "non-positive horizon") {
+		t.Fatalf("Forecast(horizon=0) err = %v, want non-positive horizon error", err)
+	}
+}
+
+// TestWriteJSONEncodeError checks an unencodable value becomes a 500
+// with a body, not a silent empty 200.
+func TestWriteJSONEncodeError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, math.Inf(1))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "encoding response") {
+		t.Fatalf("body %q missing encode error", rec.Body.String())
+	}
+}
+
+func TestTraceParamErrorsNamed(t *testing.T) {
+	srv, _ := testServer(t)
+	for query, want := range map[string]string{
+		"grid=DE&from=abc": "bad from",
+		"grid=DE&n=abc":    "bad n",
+		"grid=DE&n=0":      "n must be at least 1",
+		// NaN defeats the n < 1 check (comparisons are false) and
+		// int(NaN) is MinInt64 — this used to panic the slice below.
+		"grid=DE&n=NaN":    "bad n: non-finite",
+		"grid=DE&from=Inf": "bad from: non-finite",
+	} {
+		resp, err := http.Get(srv.URL + "/v1/trace?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), want) {
+			t.Fatalf("%s: status %d body %q, want 400 with %q", query, resp.StatusCode, body, want)
+		}
+	}
+}
+
+// TestTraceHugeNClamps: a finite n beyond MaxInt64 must clamp to the
+// trace length, not overflow int(n) into inverted slice bounds (which
+// panicked the handler goroutine).
+func TestTraceHugeNClamps(t *testing.T) {
+	srv, traces := testServer(t)
+	for _, n := range []string{"1e300", "9.3e18"} {
+		resp, err := http.Get(srv.URL + "/v1/trace?grid=DE&n=" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out TraceResponse
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("n=%s: %v", n, err)
+		}
+		if resp.StatusCode != http.StatusOK || len(out.Values) != len(traces["DE"].Values) {
+			t.Fatalf("n=%s: status %d, %d values", n, resp.StatusCode, len(out.Values))
+		}
 	}
 }
 

@@ -3,6 +3,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"log"
+	"math"
 	"time"
 
 	"pcaps/internal/carbonapi"
@@ -57,11 +59,24 @@ func (d *QuotaDaemon) Step(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cluster: forecast poll: %w", err)
 	}
-	if lo <= 0 {
-		lo = 1e-3
+	// A misbehaving server can return inverted or non-finite values that
+	// would flow straight into the k-search quota. Reject them and keep
+	// serving the last good quota (the installed limit is untouched).
+	if math.IsNaN(intensity) || math.IsInf(intensity, 0) || intensity < 0 {
+		return 0, fmt.Errorf("cluster: server returned bad intensity %v for grid %s; keeping quota %d",
+			intensity, d.Grid, d.lastQuota)
 	}
-	if hi < lo {
-		hi = lo
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || hi < lo || lo < 0 {
+		return 0, fmt.Errorf("cluster: server returned bad forecast bounds [%v, %v] for grid %s; keeping quota %d",
+			lo, hi, d.Grid, d.lastQuota)
+	}
+	if lo == 0 {
+		// A zero lower bound is a legitimate carbon-free interval; floor
+		// it for the threshold math, which needs L > 0.
+		lo = 1e-3
+		if hi < lo {
+			hi = lo
+		}
 	}
 	b := d.B
 	if b < 1 {
@@ -83,9 +98,12 @@ func (d *QuotaDaemon) Step(ctx context.Context) (int, error) {
 // LastQuota returns the most recently installed executor limit.
 func (d *QuotaDaemon) LastQuota() int { return d.lastQuota }
 
-// Run polls until the context is cancelled. Transient API errors are
-// retried on the next tick (the quota keeps its previous value, the safe
-// behaviour for a non-preemptive limit).
+// Run polls until the context is cancelled. Transient API errors and
+// rejected server values are retried on the next tick (the quota keeps
+// its previous value, the safe behaviour for a non-preemptive limit) and
+// logged on the transition into failure — not per tick, so a server
+// returning varying garbage cannot flood the log — making a frozen
+// quota observable instead of silent.
 func (d *QuotaDaemon) Run(ctx context.Context) error {
 	poll := d.Poll
 	if poll <= 0 {
@@ -93,9 +111,18 @@ func (d *QuotaDaemon) Run(ctx context.Context) error {
 	}
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
+	healthy := true
 	for {
-		if _, err := d.Step(ctx); err != nil && ctx.Err() != nil {
-			return ctx.Err()
+		if _, err := d.Step(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if healthy {
+				log.Printf("cluster: quota daemon: %v (retrying each tick)", err)
+				healthy = false
+			}
+		} else {
+			healthy = true
 		}
 		select {
 		case <-ctx.Done():

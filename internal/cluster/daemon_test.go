@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/carbonapi"
+)
+
+// faultyCarbonServer mimics a misbehaving carbon API: intensity and
+// forecast responses are well-formed JSON but carry the configured
+// (possibly nonsensical) values.
+func faultyCarbonServer(t *testing.T, intensity, lo, hi float64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/intensity":
+			fmt.Fprintf(w, `{"grid":"DE","at_sec":0,"intensity_gco2eq_kwh":%g,"interval_sec":60}`, intensity)
+		case "/v1/forecast":
+			fmt.Fprintf(w, `{"grid":"DE","from_sec":0,"horizon_sec":2880,"low_gco2eq_kwh":%g,"high_gco2eq_kwh":%g}`, lo, hi)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestQuotaDaemonRejectsBadServerValues: inverted or negative values
+// from a misbehaving server must not reach the k-search quota; the
+// daemon errors descriptively and the installed quota keeps its last
+// good value.
+func TestQuotaDaemonRejectsBadServerValues(t *testing.T) {
+	tr := deTrace(t)
+	good := httptest.NewServer(carbonapi.NewServer(map[string]*carbon.Trace{"DE": tr}))
+	defer good.Close()
+
+	q := NewResourceQuota(PaperExecutorShape, 100)
+	d := &QuotaDaemon{
+		Client: carbonapi.NewClient(good.URL),
+		Grid:   "DE",
+		K:      100, B: 20,
+		Quota: q,
+		Now:   func() float64 { return 0 },
+	}
+	ctx := context.Background()
+	goodQuota, err := d.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodQuota < 20 || goodQuota > 100 {
+		t.Fatalf("good quota out of range: %d", goodQuota)
+	}
+
+	tests := []struct {
+		name              string
+		intensity, lo, hi float64
+		wantErrContains   string
+	}{
+		{"inverted bounds", 400, 500, 100, "bad forecast bounds"},
+		{"negative low bound", 400, -50, 300, "bad forecast bounds"},
+		{"both bounds negative", 400, -20, -5, "bad forecast bounds"},
+		{"negative intensity", -1, 100, 500, "bad intensity"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d.Client = carbonapi.NewClient(faultyCarbonServer(t, tt.intensity, tt.lo, tt.hi).URL)
+			_, err := d.Step(ctx)
+			if err == nil {
+				t.Fatal("faulty server values accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantErrContains) {
+				t.Fatalf("err = %v, want mention of %q", err, tt.wantErrContains)
+			}
+			if d.LastQuota() != goodQuota {
+				t.Fatalf("LastQuota = %d, want last good %d", d.LastQuota(), goodQuota)
+			}
+			if q.MaxExecutors() != goodQuota {
+				t.Fatalf("installed quota = %d, want last good %d", q.MaxExecutors(), goodQuota)
+			}
+		})
+	}
+
+	// Negative low bound case: hi < lo already covered; a server
+	// recovering restores normal operation.
+	d.Client = carbonapi.NewClient(good.URL)
+	if _, err := d.Step(ctx); err != nil {
+		t.Fatalf("recovered server rejected: %v", err)
+	}
+}
+
+// TestQuotaDaemonAcceptsZeroLowBound: a zero lower bound is a legitimate
+// carbon-free interval, floored for the threshold math rather than
+// rejected.
+func TestQuotaDaemonAcceptsZeroLowBound(t *testing.T) {
+	srv := faultyCarbonServer(t, 400, 0, 500)
+	d := &QuotaDaemon{
+		Client: carbonapi.NewClient(srv.URL),
+		Grid:   "DE",
+		K:      100, B: 20,
+		Quota: NewResourceQuota(PaperExecutorShape, 100),
+		Now:   func() float64 { return 0 },
+	}
+	if _, err := d.Step(context.Background()); err != nil {
+		t.Fatalf("zero low bound rejected: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFederationHonorsGridRestriction: an explicit -grids subset must
+// become the scenario — including a lone grid, which degenerates to a
+// one-cluster federation — never be silently widened to the default
+// scenario family.
+func TestFederationHonorsGridRestriction(t *testing.T) {
+	rep, err := Run("federation", Options{Fast: true, Seed: 42, Grids: []string{"DE"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "scenario DE —") {
+		t.Fatalf("missing single-grid scenario header:\n%s", rep.Body)
+	}
+	if strings.Contains(rep.Body, "CAISO") {
+		t.Fatalf("grid restriction widened to default scenarios:\n%s", rep.Body)
+	}
+	// With one cluster every router routes identically, so all rows
+	// match round-robin exactly.
+	for _, line := range strings.Split(rep.Body, "\n") {
+		if strings.Contains(line, "fed:") && !strings.Contains(line, "+0.0%") && !strings.Contains(line, "fed:forecast+CAP") {
+			t.Fatalf("one-cluster federation row diverged from RR: %q", line)
+		}
+	}
+}
+
+func TestFederationPairScenario(t *testing.T) {
+	rep, err := Run("federation", Options{Fast: true, Seed: 42, Grids: []string{"ON", "ZA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Body, "scenario ON+ZA —") || !strings.Contains(rep.Body, "fed:lowest-intensity") {
+		t.Fatalf("unexpected pair-scenario body:\n%s", rep.Body)
+	}
+}

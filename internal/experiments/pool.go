@@ -1,13 +1,12 @@
 package experiments
 
 import (
-	"encoding/binary"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/seed"
 )
 
 // pool bounds the total worker goroutines of one experiment run. A single
@@ -102,16 +101,7 @@ func forEach(p *pool, n int, fn func(i int)) {
 // pure function of its identity rather than of how many draws earlier
 // cells made, so serial and parallel execution produce identical results.
 func cellSeed(base int64, grid string, coords ...int64) int64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(base))
-	h.Write(buf[:])
-	h.Write([]byte(grid))
-	for _, c := range coords {
-		binary.LittleEndian.PutUint64(buf[:], uint64(c))
-		h.Write(buf[:])
-	}
-	return int64(h.Sum64() >> 1)
+	return seed.Derive(base, grid, coords...)
 }
 
 // traceKey identifies one synthesized trace.

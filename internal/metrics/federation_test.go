@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFederationAccountant(t *testing.T) {
+	var a FederationAccountant
+	a.Add(ClusterShare{Name: "A", Jobs: 2, CarbonGrams: 100, Work: 7200, Makespan: 300, JCTs: []float64{100, 200}})
+	a.Add(ClusterShare{Name: "B", Jobs: 1, CarbonGrams: 50, Work: 3600, Makespan: 600, JCTs: []float64{60}})
+	a.Add(ClusterShare{Name: "dark"}) // no jobs routed
+	s := a.Summary()
+	if s.Jobs != 3 {
+		t.Fatalf("Jobs = %d, want 3", s.Jobs)
+	}
+	if s.CarbonGrams != 150 || s.Work != 10800 {
+		t.Fatalf("totals = %v g, %v exec-s", s.CarbonGrams, s.Work)
+	}
+	if s.Makespan != 600 {
+		t.Fatalf("Makespan = %v, want slowest member 600", s.Makespan)
+	}
+	if want := (100.0 + 200 + 60) / 3; s.AvgJCT != want {
+		t.Fatalf("AvgJCT = %v, want %v", s.AvgJCT, want)
+	}
+	if want := 10800.0 / 600; s.Throughput != want {
+		t.Fatalf("Throughput = %v, want %v", s.Throughput, want)
+	}
+	if want := 150.0 / 3; math.Abs(s.GramsPerExecHour-want) > 1e-12 {
+		t.Fatalf("GramsPerExecHour = %v, want %v", s.GramsPerExecHour, want)
+	}
+	if len(s.Shares) != 3 || s.Shares[2].Name != "dark" {
+		t.Fatalf("Shares = %+v", s.Shares)
+	}
+}
+
+func TestFederationAccountantEmpty(t *testing.T) {
+	var a FederationAccountant
+	s := a.Summary()
+	if s.Jobs != 0 || s.AvgJCT != 0 || s.Throughput != 0 || s.GramsPerExecHour != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
