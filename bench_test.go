@@ -42,11 +42,11 @@ func benchArtifact(b *testing.B, id string) *experiments.Report {
 // reportFirstPercent extracts the first "x.y%"-shaped number following a
 // label in the report body and publishes it as a benchmark metric.
 func reportFirstPercent(b *testing.B, rep *experiments.Report, label, metric string) {
-	idx := strings.Index(rep.Body, label)
+	idx := strings.Index(rep.Body(), label)
 	if idx < 0 {
 		return
 	}
-	rest := rep.Body[idx+len(label):]
+	rest := rep.Body()[idx+len(label):]
 	for _, field := range strings.Fields(rest) {
 		field = strings.TrimSuffix(field, "%")
 		if v, err := strconv.ParseFloat(field, 64); err == nil {
@@ -116,7 +116,7 @@ func TestBenchHarnessSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(rep.Body, "PCAPS") {
+	if !strings.Contains(rep.Body(), "PCAPS") {
 		t.Fatal("table3 missing PCAPS row")
 	}
 	fmt.Println(rep.Render())

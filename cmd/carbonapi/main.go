@@ -6,8 +6,12 @@
 //	carbonapi -addr :8585
 //	carbonapi -addr :8585 -hours 2000 -seed 7
 //	carbonapi -addr :8585 -csv DE=de.csv   # replay a real trace
+//	carbonapi -addr :8585 -experiments=false  # trace endpoints only
 //
-// Endpoints: /v1/grids, /v1/intensity, /v1/forecast, /v1/trace.
+// Endpoints: /v1/grids, /v1/intensity, /v1/forecast, /v1/trace (all four
+// also reachable unprefixed for legacy pollers), plus /v1/experiments
+// and /v1/experiments/{id} — the artifact registry with on-demand fast
+// runs returning structured JSON (internal/result encoding).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"pcaps/internal/carbon"
 	"pcaps/internal/carbonapi"
+	"pcaps/internal/experiments"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 		hours = flag.Int("hours", carbon.PaperHours, "synthetic trace length in hours")
 		seed  = flag.Int64("seed", 42, "synthetic trace seed")
 		csvs  = flag.String("csv", "", "comma-separated GRID=FILE pairs of real traces to replay instead")
+		exps  = flag.Bool("experiments", true, "serve /v1/experiments (on-demand fast artifact runs)")
 	)
 	flag.Parse()
 
@@ -54,6 +60,13 @@ func main() {
 		s := traces[name].Stats()
 		fmt.Printf("%-6s %6d samples  mean %5.0f  cv %.3f\n", name, s.Samples, s.Mean, s.CoeffVar)
 	}
+	var opts []carbonapi.Option
+	if *exps {
+		opts = append(opts, carbonapi.WithExperiments(&experiments.Service{
+			Options: experiments.Options{Seed: *seed},
+		}))
+		fmt.Printf("serving %d experiment artifacts under /v1/experiments\n", len(experiments.IDs()))
+	}
 	fmt.Printf("serving carbon-intensity API on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, carbonapi.NewServer(traces)))
+	log.Fatal(http.ListenAndServe(*addr, carbonapi.NewServer(traces, opts...)))
 }

@@ -5,29 +5,36 @@
 //
 //	pcapsim -exp table2            # one artifact
 //	pcapsim -exp all               # every artifact, paper order
-//	pcapsim -list                  # show artifact IDs
+//	pcapsim -list                  # show artifact IDs and titles
 //	pcapsim -exp fig13 -trials 5 -seed 7
 //	pcapsim -exp table3 -grids DE,CAISO -fast
 //	pcapsim -exp federation        # multi-grid routing vs single-grid baselines
 //	pcapsim -exp federation -grids CAISO,DE  # one custom scenario
+//	pcapsim -exp table2 -fast -format json   # structured artifact to stdout
+//	pcapsim -exp all -fast -format csv -out results/  # one file per artifact
 //	pcapsim -exp all -fast -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
-// Each report prints the regenerated rows or series next to the paper's
-// published values. The -cpuprofile/-memprofile flags write standard
-// pprof profiles of the run (inspect with `go tool pprof`), so hot-path
-// work on the engine needs no code edits to measure.
+// Each report is a typed result.Artifact; -format selects the renderer
+// (text reproduces the historical fixed-width output next to the paper's
+// published values; json and csv emit the machine-readable rows), and
+// -out writes one file per artifact instead of streaming to stdout. The
+// -cpuprofile/-memprofile flags write standard pprof profiles of the run
+// (inspect with `go tool pprof`), so hot-path work on the engine needs
+// no code edits to measure.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"pcaps/internal/experiments"
+	"pcaps/internal/result"
 )
 
 func main() {
@@ -39,17 +46,25 @@ func main() {
 func run() int {
 	var (
 		exp      = flag.String("exp", "", "artifact to regenerate (table1..3, fig1..20, ablation, federation, or 'all')")
-		list     = flag.Bool("list", false, "list artifact IDs and exit")
+		list     = flag.Bool("list", false, "list artifact IDs and titles (tab-separated) and exit")
 		grids    = flag.String("grids", "", "comma-separated grid subset (default: all six)")
 		trials   = flag.Int("trials", 0, "trials per configuration (0 = experiment default)")
 		jobs     = flag.Int("jobs", 0, "override batch size where applicable")
 		seed     = flag.Int64("seed", 42, "random seed")
 		fast     = flag.Bool("fast", false, "shrink the experiment matrix for a quick pass")
 		parallel = flag.Int("parallel", 0, "worker goroutines for experiment cells (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+		format   = flag.String("format", "text", "output format: "+strings.Join(result.Formats(), "|"))
+		outDir   = flag.String("out", "", "write one <id>.<ext> file per artifact into this directory instead of stdout")
 		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	renderer, err := result.RendererFor(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcapsim: -format: %v\n", err)
+		return 2
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -80,14 +95,20 @@ func run() int {
 	}
 
 	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+		for _, info := range experiments.List() {
+			fmt.Printf("%s\t%s\n", info.ID, info.Title)
 		}
 		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "pcapsim: -exp required (or -list); e.g. pcapsim -exp table3")
 		return 2
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pcapsim: -out: %v\n", err)
+			return 1
+		}
 	}
 	opt := experiments.Options{
 		Trials:   *trials,
@@ -97,31 +118,55 @@ func run() int {
 		Parallel: *parallel,
 	}
 	if *grids != "" {
-		// Grid names are validated by experiments.Run; a typo surfaces as
-		// a clear error before any simulation starts.
+		// Grid names are validated by experiments.Run; a typo or a
+		// duplicate surfaces as a clear error before any simulation
+		// starts.
 		opt.Grids = strings.Split(*grids, ",")
 	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	// Reports go to stdout in request order; timing goes to stderr so
-	// stdout stays byte-identical across -parallel settings. On failure,
-	// the artifacts that finished before the run was cut short still
-	// print (the contiguous completed prefix, as a serial run would show).
+	// Rendered artifacts go to stdout in request order; timing goes to
+	// stderr so stdout stays byte-identical across -parallel settings.
+	// On failure, every artifact that finished before the run was cut
+	// short still renders — with the parallel engine a slot after the
+	// failing one may well have completed, so nil slots are skipped
+	// rather than treated as the end of the output.
 	start := time.Now()
 	reports, err := experiments.RunAll(ids, opt)
 	printed := 0
+	renderErr := false
 	for _, rep := range reports {
 		if rep == nil {
-			break
+			continue
 		}
-		fmt.Print(rep.Render())
-		fmt.Println()
+		out, rerr := renderer.Render(rep.Artifact)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "pcapsim: rendering %s: %v\n", rep.ID, rerr)
+			renderErr = true
+			continue
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, rep.ID+"."+renderer.Ext())
+			if werr := os.WriteFile(path, out, 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "pcapsim: %v\n", werr)
+				renderErr = true
+				continue
+			}
+		} else {
+			os.Stdout.Write(out)
+			if renderer.Name() == "text" {
+				fmt.Println()
+			}
+		}
 		printed++
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcapsim: %v\n", err)
+		return 1
+	}
+	if renderErr {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "[%d artifact(s) in %.1fs]\n", printed, time.Since(start).Seconds())

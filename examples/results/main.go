@@ -1,0 +1,80 @@
+// results: the typed artifact pipeline end to end — a carbonapi server
+// exposes the experiment registry under /v1/experiments, the Go client
+// lists it, runs one artifact on demand (fast mode), and the structured
+// JSON that comes back is re-rendered locally: the decoded
+// result.Artifact carries its typed rows *and* its display hints, so the
+// client reproduces the server's exact fixed-width text without a second
+// run, and can just as well emit CSV or walk the typed cells.
+//
+//	go run ./examples/results
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/carbonapi"
+	"pcaps/internal/experiments"
+	"pcaps/internal/result"
+)
+
+func main() {
+	// A server replaying one grid, with the experiments service enabled —
+	// the same wiring cmd/carbonapi uses.
+	spec, err := carbon.GridByName("DE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces := map[string]*carbon.Trace{"DE": carbon.Synthesize(spec, 1000, 60, 42)}
+	srv := httptest.NewServer(carbonapi.NewServer(traces,
+		carbonapi.WithExperiments(&experiments.Service{})))
+	defer srv.Close()
+	client := carbonapi.NewClient(srv.URL)
+	ctx := context.Background()
+
+	infos, err := client.Experiments(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server lists %d runnable artifacts; first three:\n", len(infos))
+	for _, info := range infos[:3] {
+		fmt.Printf("  %-8s %s\n", info.ID, info.Title)
+	}
+
+	const id = "table2"
+	fmt.Printf("\nGET /v1/experiments/%s (fast run, structured JSON):\n\n", id)
+	art, err := client.Experiment(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The decoded artifact re-renders the server's exact text locally.
+	text, err := result.TextRenderer{}.Render(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(text))
+
+	// And the typed cells are directly consumable — no text parsing.
+	for _, blk := range art.Blocks {
+		t, ok := blk.(*result.Table)
+		if !ok {
+			continue
+		}
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name
+		}
+		fmt.Printf("\ntable %q: %d rows, columns [%s]\n", t.Name, len(t.Rows), strings.Join(cols, " "))
+	}
+
+	csv, err := result.CSVRenderer{}.Render(art)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe same artifact as CSV:\n%s", string(csv))
+}

@@ -19,11 +19,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"strings"
 
 	"pcaps/internal/core"
 	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 )
@@ -242,20 +242,39 @@ func CompareWith(cfg sim.Config, jobs []*dag.Job, baseline sim.Scheduler, varian
 	return outs, nil
 }
 
-// Render formats outcomes as a table relative to the first (baseline) row.
+// Table formats outcomes as a typed result.Table relative to the first
+// (baseline) row.
+func Table(outs []Outcome) *result.Table {
+	t := &result.Table{
+		Name: "ablations",
+		Columns: []result.Column{
+			{Name: "variant", Kind: result.KindString, Header: "variant", HeaderFormat: "%-44s", Format: "%-44s"},
+			{Name: "co2_delta_pct", Kind: result.KindFloat, Prec: 1, Header: "ΔCO2", HeaderFormat: " %12s", Format: " %+11.1f%%"},
+			{Name: "relative_ect", Kind: result.KindFloat, Prec: 3, Header: "rel.ECT", HeaderFormat: " %10s", Format: " %10.3f"},
+			{Name: "relative_jct", Kind: result.KindFloat, Prec: 3, Header: "rel.JCT", HeaderFormat: " %10s", Format: " %10.3f"},
+			{Name: "deferrals", Kind: result.KindInt, Header: "defers", HeaderFormat: " %8s", Format: " %8d"},
+		},
+	}
+	if len(outs) == 0 {
+		return t
+	}
+	base := outs[0]
+	for _, o := range outs {
+		t.Row(result.Str(o.Name),
+			result.Float(metrics.PercentChange(o.CarbonGrams, base.CarbonGrams)),
+			result.Float(safeRatio(o.ECT, base.ECT)),
+			result.Float(safeRatio(o.AvgJCT, base.AvgJCT)),
+			result.Int(o.Deferrals))
+	}
+	return t
+}
+
+// Render formats outcomes as fixed-width text, the Table's text form.
 func Render(outs []Outcome) string {
 	if len(outs) == 0 {
 		return ""
 	}
-	base := outs[0]
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-44s %12s %10s %10s %8s\n", "variant", "ΔCO2", "rel.ECT", "rel.JCT", "defers")
-	for _, o := range outs {
-		fmt.Fprintf(&b, "%-44s %+11.1f%% %10.3f %10.3f %8d\n",
-			o.Name, metrics.PercentChange(o.CarbonGrams, base.CarbonGrams),
-			safeRatio(o.ECT, base.ECT), safeRatio(o.AvgJCT, base.AvgJCT), o.Deferrals)
-	}
-	return b.String()
+	return result.New().Add(Table(outs)).Body()
 }
 
 func safeRatio(a, b float64) float64 {

@@ -8,12 +8,26 @@
 //	GET /v1/intensity?grid=DE&at=120      → current intensity at time 120 s
 //	GET /v1/forecast?grid=DE&at=0&horizon=2880 → {low, high} bounds
 //	GET /v1/trace?grid=DE&from=0&n=48     → a window of raw samples
+//	GET /v1/experiments                   → {"experiments": [{id, title}, ...]}
+//	GET /v1/experiments/{id}              → run the artifact, structured JSON out
+//
+// The /v1/ prefix is the versioned surface: new endpoints appear only
+// under it, and breaking changes would land under a /v2/ prefix instead
+// of mutating /v1/ (DESIGN.md §4). The four trace endpoints predate the
+// versioning and stay reachable unprefixed (/grids, /intensity,
+// /forecast, /trace) for compatibility with existing pollers.
+//
+// The experiments endpoints are backed by a pluggable Experiments
+// implementation (WithExperiments); without one they answer 404. The
+// indirection keeps this package free of a dependency on the experiment
+// runners, which themselves depend on this package's client.
 //
 // Times are experiment seconds (one trace interval = one grid-hour).
 package carbonapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -23,23 +37,59 @@ import (
 	"strconv"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/result"
 )
+
+// ExperimentInfo identifies one runnable experiment artifact.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Experiments is the backend of the /v1/experiments endpoints: an
+// artifact index plus on-demand execution. Implementations must be safe
+// for concurrent Run calls — the server imposes no request serialization.
+type Experiments interface {
+	// List enumerates the runnable artifacts in stable order.
+	List() []ExperimentInfo
+	// Run executes one artifact and returns its structured result.
+	Run(ctx context.Context, id string) (*result.Artifact, error)
+}
 
 // Server replays one or more traces over HTTP. The zero value is not
 // usable; construct with NewServer.
 type Server struct {
-	traces map[string]*carbon.Trace
-	mux    *http.ServeMux
+	traces      map[string]*carbon.Trace
+	experiments Experiments
+	mux         *http.ServeMux
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithExperiments enables the /v1/experiments endpoints, backed by e
+// (typically experiments.Service).
+func WithExperiments(e Experiments) Option {
+	return func(s *Server) { s.experiments = e }
 }
 
 // NewServer builds a server replaying the given traces, keyed by grid
 // name.
-func NewServer(traces map[string]*carbon.Trace) *Server {
+func NewServer(traces map[string]*carbon.Trace, opts ...Option) *Server {
 	s := &Server{traces: traces, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/grids", s.handleGrids)
-	s.mux.HandleFunc("/v1/intensity", s.handleIntensity)
-	s.mux.HandleFunc("/v1/forecast", s.handleForecast)
-	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	for _, opt := range opts {
+		opt(s)
+	}
+	// The four trace endpoints answer both versioned and (legacy)
+	// unprefixed paths; the experiments service is /v1/-only.
+	for _, prefix := range []string{"/v1", ""} {
+		s.mux.HandleFunc(prefix+"/grids", s.handleGrids)
+		s.mux.HandleFunc(prefix+"/intensity", s.handleIntensity)
+		s.mux.HandleFunc(prefix+"/forecast", s.handleForecast)
+		s.mux.HandleFunc(prefix+"/trace", s.handleTrace)
+	}
+	s.mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("/v1/experiments/{id}", s.handleExperimentRun)
 	return s
 }
 
@@ -115,6 +165,51 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
+}
+
+// ExperimentsResponse is the payload of /v1/experiments.
+type ExperimentsResponse struct {
+	Experiments []ExperimentInfo `json:"experiments"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if s.experiments == nil {
+		http.Error(w, "experiments service not enabled", http.StatusNotFound)
+		return
+	}
+	infos := s.experiments.List()
+	if infos == nil {
+		infos = []ExperimentInfo{}
+	}
+	writeJSON(w, ExperimentsResponse{Experiments: infos})
+}
+
+func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
+	if s.experiments == nil {
+		http.Error(w, "experiments service not enabled", http.StatusNotFound)
+		return
+	}
+	id := r.PathValue("id")
+	// Distinguish the 404 (unknown artifact) from a 500 (run failure)
+	// via the index rather than error-string matching.
+	known := false
+	for _, info := range s.experiments.List() {
+		if info.ID == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		return
+	}
+	art, err := s.experiments.Run(r.Context(), id)
+	if err != nil {
+		log.Printf("carbonapi: running experiment %q: %v", id, err)
+		http.Error(w, fmt.Sprintf("running %q: %v", id, err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, art)
 }
 
 func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/result"
 )
 
 // Client talks to a carbon-intensity API server. It mirrors the Python
@@ -76,6 +77,27 @@ func (c *Client) Forecast(ctx context.Context, grid string, at, horizon float64)
 		return 0, 0, err
 	}
 	return out.Low, out.High, nil
+}
+
+// Experiments lists the artifacts the server can run on demand.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var out ExperimentsResponse
+	if err := c.get(ctx, "/v1/experiments", url.Values{}, &out); err != nil {
+		return nil, err
+	}
+	return out.Experiments, nil
+}
+
+// Experiment runs one artifact server-side and decodes the structured
+// result. The artifact carries its display hints, so callers can
+// re-render the server's exact text locally (result.TextRenderer) or
+// consume the typed rows directly.
+func (c *Client) Experiment(ctx context.Context, id string) (*result.Artifact, error) {
+	var art result.Artifact
+	if err := c.get(ctx, "/v1/experiments/"+url.PathEscape(id), url.Values{}, &art); err != nil {
+		return nil, err
+	}
+	return &art, nil
 }
 
 // FetchTrace downloads a window of n samples starting at experiment time

@@ -1,0 +1,214 @@
+package carbonapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/result"
+)
+
+// stubExperiments is a deterministic Experiments backend: one known
+// artifact, plus a failing one to drive the 500 path. It counts Run
+// calls so the concurrency test can assert every request executed.
+type stubExperiments struct {
+	runs atomic.Int64
+}
+
+func (s *stubExperiments) List() []ExperimentInfo {
+	return []ExperimentInfo{
+		{ID: "table9", Title: "a stub table"},
+		{ID: "broken", Title: "always fails"},
+	}
+}
+
+func (s *stubExperiments) Run(ctx context.Context, id string) (*result.Artifact, error) {
+	s.runs.Add(1)
+	if id == "broken" {
+		return nil, errors.New("substrate exploded")
+	}
+	t := &result.Table{
+		Name: "rows",
+		Columns: []result.Column{
+			{Name: "k", Kind: result.KindString, Format: "%-4s"},
+			{Name: "v", Kind: result.KindFloat, Format: " %6.2f"},
+		},
+	}
+	t.Row(result.Str("a"), result.Float(1.25))
+	a := result.New().Add(t)
+	a.ID, a.Title = "table9", "a stub table"
+	return a, nil
+}
+
+func expServer(t *testing.T) (*httptest.Server, *stubExperiments) {
+	t.Helper()
+	stub := &stubExperiments{}
+	tr, err := carbon.New("DE", 60, []float64{100, 200, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(map[string]*carbon.Trace{"DE": tr}, WithExperiments(stub)))
+	t.Cleanup(srv.Close)
+	return srv, stub
+}
+
+func TestExperimentsIndex(t *testing.T) {
+	srv, _ := expServer(t)
+	resp, err := http.Get(srv.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out ExperimentsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Experiments) != 2 || out.Experiments[0].ID != "table9" || out.Experiments[0].Title != "a stub table" {
+		t.Fatalf("experiments = %+v", out.Experiments)
+	}
+}
+
+func TestExperimentRunStructured(t *testing.T) {
+	srv, _ := expServer(t)
+	resp, err := http.Get(srv.URL + "/v1/experiments/table9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var art result.Artifact
+	if err := json.NewDecoder(resp.Body).Decode(&art); err != nil {
+		t.Fatal(err)
+	}
+	if art.ID != "table9" || len(art.Blocks) != 1 {
+		t.Fatalf("artifact = %+v", art)
+	}
+	if got := art.Body(); got != "a      1.25\n" {
+		t.Fatalf("decoded body %q", got)
+	}
+}
+
+func TestExperimentRunErrors(t *testing.T) {
+	srv, _ := expServer(t)
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/experiments/fig99", http.StatusNotFound}, // unknown ID
+		{"/v1/experiments/broken", http.StatusInternalServerError},
+		{"/experiments", http.StatusNotFound}, // the service is /v1/-only
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d, want %d (%s)", tc.path, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+func TestExperimentsDisabled(t *testing.T) {
+	tr, err := carbon.New("DE", 60, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(map[string]*carbon.Trace{"DE": tr}))
+	defer srv.Close()
+	for _, path := range []string{"/v1/experiments", "/v1/experiments/table1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "not enabled") {
+			t.Errorf("GET %s without backend: %d %q", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestExperimentRunConcurrent drives parallel requests through the
+// handler; the race detector job guards the server side, and every
+// request must come back complete and well-formed.
+func TestExperimentRunConcurrent(t *testing.T) {
+	srv, stub := expServer(t)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/experiments/table9")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var art result.Artifact
+			if err := json.NewDecoder(resp.Body).Decode(&art); err != nil {
+				errs[i] = err
+				return
+			}
+			if art.Body() != "a      1.25\n" {
+				errs[i] = fmt.Errorf("body %q", art.Body())
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := stub.runs.Load(); got != n {
+		t.Fatalf("backend ran %d times, want %d", got, n)
+	}
+}
+
+// TestUnprefixedAliases pins the compatibility surface: the four trace
+// endpoints answer with and without the /v1 prefix, identically.
+func TestUnprefixedAliases(t *testing.T) {
+	srv, _ := expServer(t)
+	for _, pair := range [][2]string{
+		{"/grids", "/v1/grids"},
+		{"/intensity?grid=DE&at=0", "/v1/intensity?grid=DE&at=0"},
+		{"/forecast?grid=DE&at=0&horizon=120", "/v1/forecast?grid=DE&at=0&horizon=120"},
+		{"/trace?grid=DE&from=0&n=2", "/v1/trace?grid=DE&from=0&n=2"},
+	} {
+		var bodies [2]string
+		for i, path := range pair {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d (%s)", path, resp.StatusCode, b)
+			}
+			bodies[i] = string(b)
+		}
+		if bodies[0] != bodies[1] {
+			t.Errorf("alias %s diverged from %s:\n%s\n%s", pair[0], pair[1], bodies[0], bodies[1])
+		}
+	}
+}

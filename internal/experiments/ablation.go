@@ -1,16 +1,15 @@
 package experiments
 
 import (
-	"fmt"
-
 	"pcaps/internal/ablation"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
 func init() {
-	register("ablation", ablationReport)
+	register("ablation", "design-choice ablations (DESIGN.md)", ablationReport)
 	order = append(order, "ablation")
 }
 
@@ -18,7 +17,7 @@ func init() {
 // importance signal, parallelism scaling, forecast error, and the
 // suspend-resume baseline, all against carbon-agnostic Decima on the DE
 // grid.
-func ablationReport(opt Options) (*Report, error) {
+func ablationReport(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	n := opt.Jobs
 	if n <= 0 {
@@ -50,9 +49,9 @@ func ablationReport(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	body := ablation.Render(outs) + fmt.Sprintf(
-		"(γ=%.1f, %d TPC-H jobs, DE grid; baseline row is carbon-agnostic Decima)\n"+
-			"reading: exponential Ψγ with the precedence signal should pay the least ECT/JCT per unit of carbon saved;\n"+
-			"importance-blind and suspend-resume variants save carbon but defer bottlenecks\n", gamma, n)
-	return &Report{ID: "ablation", Title: "design-choice ablations (DESIGN.md)", Body: body}, nil
+	a := result.New().Add(ablation.Table(outs))
+	a.Textf("(γ=%.1f, %d TPC-H jobs, DE grid; baseline row is carbon-agnostic Decima)\n"+
+		"reading: exponential Ψγ with the precedence signal should pay the least ECT/JCT per unit of carbon saved;\n"+
+		"importance-blind and suspend-resume variants save carbon but defer bottlenecks\n", gamma, n)
+	return a, nil
 }

@@ -1,24 +1,23 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
-	"strings"
 	"time"
 
 	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
 func init() {
-	register("fig16", fig16)
-	register("fig17", fig17)
-	register("fig18", fig18)
-	register("fig19", fig19)
-	registerSerial("fig20", fig20)
+	register("fig16", "job-count sweep, simulator (Fig 16 / A.2.1)", fig16)
+	register("fig17", "job-count sweep, prototype (Fig 17 / A.2.1)", fig17)
+	register("fig18", "interarrival sweep, simulator (Fig 18 / A.2.2)", fig18)
+	register("fig19", "interarrival sweep, prototype (Fig 19 / A.2.2)", fig19)
+	registerSerial("fig20", "scheduler invocation latency vs queue length (Fig 20 / A.2.3)", fig20)
 }
 
 // jobCountSettings are the Appendix A.2.1 batch sizes.
@@ -29,8 +28,8 @@ var arrivalSettings = []float64{7.5, 15, 30, 60, 120}
 
 // runAxis executes the sweep: for each setting, trials of Decima, CAP,
 // and PCAPS against the environment's baseline.
-func runAxis(opt Options, id, title, label string, proto bool, mix workload.Mix,
-	settings []float64, build func(v float64, seed int64) (njobs int, interarrival float64)) (*Report, error) {
+func runAxis(opt Options, label string, proto bool, mix workload.Mix,
+	settings []float64, build func(v float64, seed int64) (njobs int, interarrival float64)) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	trials := opt.Trials
 	if trials <= 0 {
@@ -97,64 +96,71 @@ func runAxis(opt Options, id, title, label string, proto bool, mix workload.Mix,
 			a.jct = append(a.jct, r.AvgJCT/base.AvgJCT)
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %-8s %14s %12s %12s\n", label, "policy", "carbon red.(%)", "rel. ECT", "rel. JCT")
+	t := &result.Table{
+		Name: "axis",
+		Columns: []result.Column{
+			{Name: "setting", Kind: result.KindFloat, Prec: 1, Header: label, HeaderFormat: "%-8s", Format: "%-8.1f"},
+			{Name: "policy", Kind: result.KindString, Header: "policy", HeaderFormat: " %-8s", Format: " %-8s"},
+			{Name: "carbon_reduction_pct", Kind: result.KindFloat, Prec: 1,
+				Header: "carbon red.(%)", HeaderFormat: " %14s", Format: " %14.1f"},
+			{Name: "relative_ect", Kind: result.KindFloat, Prec: 3, Header: "rel. ECT", HeaderFormat: " %12s", Format: " %12.3f"},
+			{Name: "relative_jct", Kind: result.KindFloat, Prec: 3, Header: "rel. JCT", HeaderFormat: " %12s", Format: " %12.3f"},
+		},
+	}
 	for _, setting := range settings {
 		for _, nm := range names {
 			a := rows[nm][setting]
-			fmt.Fprintf(&b, "%-8.1f %-8s %14.1f %12.3f %12.3f\n", setting, nm,
-				metrics.Summarize(a.carbon).Mean, metrics.Summarize(a.ect).Mean, metrics.Summarize(a.jct).Mean)
+			t.Row(result.Float(setting), result.Str(nm),
+				result.Float(metrics.Summarize(a.carbon).Mean),
+				result.Float(metrics.Summarize(a.ect).Mean),
+				result.Float(metrics.Summarize(a.jct).Mean))
 		}
 	}
-	return &Report{ID: id, Title: title, Body: b.String()}, nil
+	return result.New().Add(t), nil
 }
 
 // fig16 varies the total number of jobs in the simulator (A.2.1).
-func fig16(opt Options) (*Report, error) {
-	r, err := runAxis(opt, "fig16", "job-count sweep, simulator (Fig 16 / A.2.1)", "jobs",
-		false, workload.MixTPCH, jobCountSettings,
+func fig16(opt Options) (*result.Artifact, error) {
+	a, err := runAxis(opt, "jobs", false, workload.MixTPCH, jobCountSettings,
 		func(v float64, seed int64) (int, float64) { return int(v), 30 })
 	if err != nil {
 		return nil, err
 	}
-	r.Body += "paper: orderings stay constant; small batches are noisy; CAP-FIFO's JCT grows with batch size\n"
-	return r, nil
+	a.Textf("paper: orderings stay constant; small batches are noisy; CAP-FIFO's JCT grows with batch size\n")
+	return a, nil
 }
 
 // fig17 varies the total number of jobs in the prototype (A.2.1).
-func fig17(opt Options) (*Report, error) {
-	r, err := runAxis(opt, "fig17", "job-count sweep, prototype (Fig 17 / A.2.1)", "jobs",
-		true, workload.MixBoth, []float64{25, 50, 100},
+func fig17(opt Options) (*result.Artifact, error) {
+	a, err := runAxis(opt, "jobs", true, workload.MixBoth, []float64{25, 50, 100},
 		func(v float64, seed int64) (int, float64) { return int(v), 30 })
 	if err != nil {
 		return nil, err
 	}
-	r.Body += "paper: mirrors the simulator, but CAP's JCT does not inflate with batch size (capped default blocks less)\n"
-	return r, nil
+	a.Textf("paper: mirrors the simulator, but CAP's JCT does not inflate with batch size (capped default blocks less)\n")
+	return a, nil
 }
 
 // fig18 varies the Poisson interarrival time in the simulator (A.2.2).
-func fig18(opt Options) (*Report, error) {
-	r, err := runAxis(opt, "fig18", "interarrival sweep, simulator (Fig 18 / A.2.2)", "1/λ(s)",
-		false, workload.MixTPCH, arrivalSettings,
+func fig18(opt Options) (*result.Artifact, error) {
+	a, err := runAxis(opt, "1/λ(s)", false, workload.MixTPCH, arrivalSettings,
 		func(v float64, seed int64) (int, float64) { return 50, v })
 	if err != nil {
 		return nil, err
 	}
-	r.Body += "paper: under heavy load (small 1/λ) PCAPS and Decima gain more vs FIFO\n"
-	return r, nil
+	a.Textf("paper: under heavy load (small 1/λ) PCAPS and Decima gain more vs FIFO\n")
+	return a, nil
 }
 
 // fig19 varies the Poisson interarrival time in the prototype (A.2.2).
-func fig19(opt Options) (*Report, error) {
-	r, err := runAxis(opt, "fig19", "interarrival sweep, prototype (Fig 19 / A.2.2)", "1/λ(s)",
-		true, workload.MixBoth, arrivalSettings,
+func fig19(opt Options) (*result.Artifact, error) {
+	a, err := runAxis(opt, "1/λ(s)", true, workload.MixBoth, arrivalSettings,
 		func(v float64, seed int64) (int, float64) { return 50, v })
 	if err != nil {
 		return nil, err
 	}
-	r.Body += "paper: mirrors the simulator; PCAPS and Decima improve at heavy load\n"
-	return r, nil
+	a.Textf("paper: mirrors the simulator; PCAPS and Decima improve at heavy load\n")
+	return a, nil
 }
 
 // fig20 measures scheduler-invocation latency as a function of the
@@ -169,7 +175,7 @@ func fig19(opt Options) (*Report, error) {
 // values are inherently run-to-run noise, so they are the one part of a
 // report body that is not byte-reproducible (the table's structure and
 // row set are).
-func fig20(opt Options) (*Report, error) {
+func fig20(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	tr := e.traces["DE"]
 	queueSizes := []int{1, 5, 10, 25, 50, 75, 100}
@@ -180,8 +186,17 @@ func fig20(opt Options) (*Report, error) {
 	if opt.Fast {
 		reps = 50
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s   (µs per invocation)\n", "jobs", "FIFO", "CAP-FIFO", "Decima", "PCAPS")
+	t := &result.Table{
+		Name: "latency_us",
+		Columns: []result.Column{
+			{Name: "jobs", Kind: result.KindInt, Header: "jobs", HeaderFormat: "%-8s", Format: "%-8d"},
+			{Name: "fifo", Kind: result.KindFloat, Prec: 2, Header: "FIFO", HeaderFormat: " %12s", Format: " %12.2f"},
+			{Name: "cap_fifo", Kind: result.KindFloat, Prec: 2, Header: "CAP-FIFO", HeaderFormat: " %12s", Format: " %12.2f"},
+			{Name: "decima", Kind: result.KindFloat, Prec: 2, Header: "Decima", HeaderFormat: " %12s", Format: " %12.2f"},
+			{Name: "pcaps", Kind: result.KindFloat, Prec: 2, Header: "PCAPS",
+				HeaderFormat: " %12s   (µs per invocation)", Format: " %12.2f"},
+		},
+	}
 	for _, qn := range queueSizes {
 		seed := e.opt.Seed
 		jobs := batch(qn, 0.001, workload.MixTPCH, seed) // all queued at once
@@ -191,11 +206,13 @@ func fig20(opt Options) (*Report, error) {
 			"Decima":   func() sim.Scheduler { return sched.NewDecima(seed) },
 			"PCAPS":    func() sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
 		})
-		fmt.Fprintf(&b, "%-8d %12.2f %12.2f %12.2f %12.2f\n", qn,
-			lat["FIFO"], lat["CAP-FIFO"], lat["Decima"], lat["PCAPS"])
+		t.Row(result.Int(qn),
+			result.Float(lat["FIFO"]), result.Float(lat["CAP-FIFO"]),
+			result.Float(lat["Decima"]), result.Float(lat["PCAPS"]))
 	}
-	b.WriteString("paper: decision-rule policies stay <5 ms; Decima/PCAPS grow with queue length; PCAPS adds a constant few ms over Decima (sub-20 ms overall)\n")
-	return &Report{ID: "fig20", Title: "scheduler invocation latency vs queue length (Fig 20 / A.2.3)", Body: b.String()}, nil
+	a := result.New().Add(t)
+	a.Textf("paper: decision-rule policies stay <5 ms; Decima/PCAPS grow with queue length; PCAPS adds a constant few ms over Decima (sub-20 ms overall)\n")
+	return a, nil
 }
 
 // latencyProbe captures a live cluster snapshot mid-run and times Pick

@@ -1,8 +1,9 @@
 // Package experiments contains one runner per table and figure of the
 // paper's evaluation (§6 and Appendix A). Each runner regenerates the
-// artifact's rows or series from the simulator/prototype substrates and
-// renders them next to the paper's published values, so EXPERIMENTS.md
-// can record paper-vs-measured for every artifact.
+// artifact's rows or series from the simulator/prototype substrates as a
+// typed result.Artifact — structured tables and series next to the
+// paper's published values — which the pluggable renderers in
+// internal/result turn into fixed-width text, JSON, or CSV.
 package experiments
 
 import (
@@ -15,6 +16,7 @@ import (
 	"pcaps/internal/carbon"
 	"pcaps/internal/cluster"
 	"pcaps/internal/dag"
+	"pcaps/internal/result"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
@@ -61,9 +63,11 @@ func (o Options) scoped(grids ...string) Options {
 	return o
 }
 
-// validate rejects options the runners cannot execute, most importantly
-// unknown grid names, which would otherwise surface as nil-trace panics
-// deep inside a worker.
+// validate rejects options the runners cannot execute: unknown grid
+// names, which would otherwise surface as nil-trace panics deep inside a
+// worker, and duplicate grid names, which would silently run the same
+// grid twice through some runners' cell matrices (inflating its weight
+// in every cross-grid average).
 func (o Options) validate() error {
 	known := map[string]bool{}
 	var names []string
@@ -71,10 +75,15 @@ func (o Options) validate() error {
 		known[spec.Name] = true
 		names = append(names, spec.Name)
 	}
+	seen := map[string]bool{}
 	for _, g := range o.Grids {
 		if !known[g] {
 			return fmt.Errorf("experiments: unknown grid %q (have %s)", g, strings.Join(names, ", "))
 		}
+		if seen[g] {
+			return fmt.Errorf("experiments: duplicate grid %q in grid set", g)
+		}
+		seen[g] = true
 	}
 	return nil
 }
@@ -100,32 +109,46 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Report is a rendered experiment artifact.
+// Report is an executed experiment artifact.
 type Report struct {
 	// ID is the artifact identifier ("table2", "fig13", ...).
 	ID string
-	// Title describes the artifact.
+	// Title describes the artifact (registry metadata; also stamped on
+	// the artifact itself).
 	Title string
-	// Body is the rendered rows/series.
-	Body string
+	// Artifact is the typed result: structured tables, series, and
+	// notes that every renderer consumes.
+	Artifact *result.Artifact
 }
 
-// Render returns the report as printable text.
+// Body returns the report's fixed-width text body, without the banner.
+func (r *Report) Body() string { return r.Artifact.Body() }
+
+// Render returns the report as printable text, delegating to the text
+// renderer — the historical pcapsim stdout format, byte for byte.
 func (r *Report) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
-	b.WriteString(r.Body)
-	if !strings.HasSuffix(r.Body, "\n") {
-		b.WriteString("\n")
-	}
-	return b.String()
+	out, _ := result.TextRenderer{}.Render(r.Artifact) // text rendering cannot fail
+	return string(out)
 }
 
-// Runner produces one artifact.
-type Runner func(Options) (*Report, error)
+// Runner produces one artifact's blocks; the registry stamps identity.
+type Runner func(Options) (*result.Artifact, error)
+
+// Info is one registry entry's metadata.
+type Info struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// entry pairs a runner with its title so artifact metadata exists
+// without running anything (pcapsim -list, the /v1/experiments index).
+type entry struct {
+	title string
+	run   Runner
+}
 
 // registry maps artifact IDs to runners, populated by init() in each file.
-var registry = map[string]Runner{}
+var registry = map[string]entry{}
 
 var order = []string{
 	"table1", "table2", "table3",
@@ -134,7 +157,7 @@ var order = []string{
 	"fig18", "fig19", "fig20",
 }
 
-func register(id string, r Runner) { registry[id] = r }
+func register(id, title string, r Runner) { registry[id] = entry{title: title, run: r} }
 
 // serialOnly marks artifacts whose measurements sibling runners would
 // corrupt (wall-clock timing); RunAll executes them alone after the
@@ -143,8 +166,8 @@ var serialOnly = map[string]bool{}
 
 // registerSerial registers a runner that must not share the machine with
 // other artifacts while it runs.
-func registerSerial(id string, r Runner) {
-	register(id, r)
+func registerSerial(id, title string, r Runner) {
+	register(id, title, r)
 	serialOnly[id] = true
 }
 
@@ -173,9 +196,19 @@ func IDs() []string {
 	return append(out, extra...)
 }
 
+// List returns every artifact's metadata in paper order.
+func List() []Info {
+	ids := IDs()
+	out := make([]Info, len(ids))
+	for i, id := range ids {
+		out[i] = Info{ID: id, Title: registry[id].title}
+	}
+	return out
+}
+
 // Run executes one artifact's runner.
 func Run(id string, opt Options) (*Report, error) {
-	r, ok := registry[id]
+	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown artifact %q (have %v)", id, IDs())
 	}
@@ -185,7 +218,12 @@ func Run(id string, opt Options) (*Report, error) {
 	if opt.pool == nil {
 		opt.pool = newPool(opt.Parallel)
 	}
-	return r(opt)
+	art, err := e.run(opt)
+	if err != nil {
+		return nil, err
+	}
+	art.ID, art.Title = id, e.title
+	return &Report{ID: id, Title: e.title, Artifact: art}, nil
 }
 
 // RunAll executes the named artifacts, fanning the runners themselves out
@@ -196,9 +234,11 @@ func Run(id string, opt Options) (*Report, error) {
 // serial-only (timing measurements) run alone after the fan-out drains.
 //
 // On failure the first error in request order is returned together with
-// the reports slice, whose entries are non-nil for artifacts that
-// completed before the run was cut short — callers can render the
-// finished prefix instead of discarding a long run's output.
+// the reports slice, whose entries are non-nil for every artifact that
+// completed before the run was cut short — callers can render all the
+// finished artifacts (not just a contiguous prefix; a slot after the
+// failing one may well have finished first) instead of discarding a long
+// run's output.
 func RunAll(ids []string, opt Options) ([]*Report, error) {
 	if opt.pool == nil {
 		opt.pool = newPool(opt.Parallel)

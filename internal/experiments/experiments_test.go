@@ -26,7 +26,7 @@ func TestAllArtifactsRunFast(t *testing.T) {
 			if rep.ID != id {
 				t.Fatalf("report ID = %q", rep.ID)
 			}
-			if rep.Title == "" || len(rep.Body) < 20 {
+			if rep.Title == "" || len(rep.Body()) < 20 {
 				t.Fatalf("degenerate report: %+v", rep)
 			}
 			if !strings.Contains(rep.Render(), id) {
@@ -68,8 +68,8 @@ func TestTable1MatchesPaperBounds(t *testing.T) {
 	// The exact extremes are matched by construction; spot-check they
 	// appear in the rendered rows.
 	for _, needle := range []string{"130", "765", "586", "785"} {
-		if !strings.Contains(rep.Body, needle) {
-			t.Fatalf("table1 missing %s:\n%s", needle, rep.Body)
+		if !strings.Contains(rep.Body(), needle) {
+			t.Fatalf("table1 missing %s:\n%s", needle, rep.Body())
 		}
 	}
 }
@@ -81,10 +81,10 @@ func TestFig1QualitativeShape(t *testing.T) {
 	}
 	// C-OPT must reduce carbon by far more than PCAPS, which must not be
 	// slower than FIFO.
-	if !strings.Contains(rep.Body, "C-OPT") || !strings.Contains(rep.Body, "PCAPS") {
-		t.Fatalf("fig1 missing policies:\n%s", rep.Body)
+	if !strings.Contains(rep.Body(), "C-OPT") || !strings.Contains(rep.Body(), "PCAPS") {
+		t.Fatalf("fig1 missing policies:\n%s", rep.Body())
 	}
-	lines := strings.Split(rep.Body, "\n")
+	lines := strings.Split(rep.Body(), "\n")
 	var coptNeg, pcapsNeg bool
 	for _, l := range lines {
 		if strings.HasPrefix(l, "C-OPT") && strings.Contains(l, "-") {
@@ -95,7 +95,7 @@ func TestFig1QualitativeShape(t *testing.T) {
 		}
 	}
 	if !coptNeg || !pcapsNeg {
-		t.Fatalf("fig1 carbon reductions missing:\n%s", rep.Body)
+		t.Fatalf("fig1 carbon reductions missing:\n%s", rep.Body())
 	}
 }
 
@@ -170,7 +170,7 @@ func TestSerialParallelDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parallel Run(%s): %v", id, err)
 			}
-			sb, pb := serial.Body, par.Body
+			sb, pb := serial.Body(), par.Body()
 			if id == "fig20" {
 				sb, pb = maskTimings(sb), maskTimings(pb)
 			}
@@ -267,6 +267,44 @@ func TestRunRejectsUnknownGrid(t *testing.T) {
 	_, err := Run("table2", Options{Fast: true, Seed: 42, Grids: []string{"BOGUS"}})
 	if err == nil || !strings.Contains(err.Error(), `unknown grid "BOGUS"`) {
 		t.Fatalf("want an unknown-grid error, got: %v", err)
+	}
+}
+
+// TestRunRejectsDuplicateGrids: a repeated grid (e.g. -grids DE,DE) used
+// to silently run the grid twice through some runners' cell matrices,
+// doubling its weight in cross-grid averages; it is now a validation
+// error before any simulation starts.
+func TestRunRejectsDuplicateGrids(t *testing.T) {
+	for _, set := range [][]string{{"DE", "DE"}, {"DE", "CAISO", "DE"}} {
+		_, err := Run("table2", Options{Fast: true, Seed: 42, Grids: set})
+		if err == nil || !strings.Contains(err.Error(), `duplicate grid "DE"`) {
+			t.Fatalf("grids %v: want a duplicate-grid error, got: %v", set, err)
+		}
+	}
+	// A non-degenerate subset still passes validation.
+	if _, err := Run("table1", Options{Fast: true, Seed: 42, Grids: []string{"DE", "CAISO"}}); err != nil {
+		t.Fatalf("distinct grids rejected: %v", err)
+	}
+}
+
+// TestListCarriesTitles: registry metadata exists without running
+// anything (pcapsim -list and /v1/experiments depend on it).
+func TestListCarriesTitles(t *testing.T) {
+	infos := List()
+	ids := IDs()
+	if len(infos) != len(ids) {
+		t.Fatalf("List has %d entries, IDs %d", len(infos), len(ids))
+	}
+	for i, info := range infos {
+		if info.ID != ids[i] {
+			t.Fatalf("List[%d].ID = %q, want %q", i, info.ID, ids[i])
+		}
+		if info.Title == "" {
+			t.Fatalf("artifact %q has no title", info.ID)
+		}
+	}
+	if infos[1].Title != "prototype results summary (§6.3)" {
+		t.Fatalf("table2 title = %q", infos[1].Title)
 	}
 }
 

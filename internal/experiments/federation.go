@@ -7,12 +7,15 @@ import (
 	"pcaps/internal/carbon"
 	fed "pcaps/internal/federation"
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
-func init() { register("federation", federationTable) }
+func init() {
+	register("federation", "multi-grid federation: routing policies vs single-grid baselines", federationTable)
+}
 
 // fedVariant is one row of the federation table: a routing policy, the
 // member-cluster scheduler family, and optionally a single-grid pin (the
@@ -52,19 +55,11 @@ func fedVariants(scenario []string) []fedVariant {
 // one-cluster federation where every router agrees — the restriction is
 // honored rather than silently widened back to the default family);
 // without a subset, a default family spanning the paper's grid set.
+// Options.validate has already rejected duplicate grid names, so the
+// subset is usable as-is.
 func fedScenarios(opt Options) [][]string {
 	if len(opt.Grids) > 0 {
-		// Dedupe while preserving order: a repeated grid would emit
-		// duplicate single:<grid> rows and redundant identical runs.
-		seen := map[string]bool{}
-		uniq := make([]string, 0, len(opt.Grids))
-		for _, g := range opt.Grids {
-			if !seen[g] {
-				seen[g] = true
-				uniq = append(uniq, g)
-			}
-		}
-		return [][]string{uniq}
+		return [][]string{opt.Grids}
 	}
 	if opt.Fast {
 		return [][]string{{"CAISO", "ON", "DE"}}
@@ -79,7 +74,7 @@ func fedScenarios(opt Options) [][]string {
 // federationTable regenerates the federation comparison: for each
 // multi-grid scenario, single-grid pins vs federated routing policies,
 // every run over the identical job batch and per-grid trace windows.
-func federationTable(opt Options) (*Report, error) {
+func federationTable(opt Options) (*result.Artifact, error) {
 	scenarios := fedScenarios(opt)
 	trials := opt.Trials
 	if trials <= 0 {
@@ -151,7 +146,7 @@ func federationTable(opt Options) (*Report, error) {
 
 	// Fold per scenario in cell order; aggregation is a serial mean, so
 	// the report is identical at any parallelism.
-	var b strings.Builder
+	art := result.New()
 	for si, scenario := range scenarios {
 		agg := map[string]*fedAgg{}
 		for i, c := range cells {
@@ -167,26 +162,24 @@ func federationTable(opt Options) (*Report, error) {
 				a.add(s)
 			}
 		}
-		base := agg["fed:round-robin"]
+		base := agg["fed:round-robin"].summary()
 		// Member size comes from the same simConfig the cells use, so the
 		// header cannot drift from the simulated capacity.
 		memberK := simConfig(nil, 0).NumExecutors
-		fmt.Fprintf(&b, "scenario %s — %d clusters × %d executors, %d jobs, avg of %d trial(s):\n",
+		art.Textf("scenario %s — %d clusters × %d executors, %d jobs, avg of %d trial(s):\n",
 			strings.Join(scenario, "+"), len(scenario), memberK, njobs, trials)
-		fmt.Fprintf(&b, "  %-22s %12s %9s %11s %10s\n", "policy", "gCO2eq", "vs RR", "makespan", "avg JCT")
+		t := &result.Table{Name: strings.Join(scenario, "+"), Columns: metrics.FederationColumns()}
 		for _, v := range fedVariants(scenario) {
-			a := agg[v.name]
-			fmt.Fprintf(&b, "  %-22s %12.1f %+8.1f%% %9.0f s %8.0f s\n",
-				v.name, a.carbon(), metrics.PercentChange(a.carbon(), base.carbon()),
-				a.makespan(), a.jct())
+			t.Rows = append(t.Rows, agg[v.name].summary().Row(v.name, base))
 		}
+		art.Add(t)
 		if si < len(scenarios)-1 {
-			b.WriteString("\n")
+			art.Textf("\n")
 		}
 	}
-	b.WriteString("(single:<grid> pins every member cluster to one grid's window — the no-geographic-diversity baseline;\n")
-	b.WriteString(" fed:* route across the scenario's grids. Members run FIFO except fed:forecast+CAP, which runs CAP-FIFO.)\n")
-	return &Report{ID: "federation", Title: "multi-grid federation: routing policies vs single-grid baselines", Body: b.String()}, nil
+	art.Textf("(single:<grid> pins every member cluster to one grid's window — the no-geographic-diversity baseline;\n")
+	art.Textf(" fed:* route across the scenario's grids. Members run FIFO except fed:forecast+CAP, which runs CAP-FIFO.)\n")
+	return art, nil
 }
 
 // fedAgg averages federation summaries across trials.
@@ -202,6 +195,14 @@ func (a *fedAgg) add(s metrics.FederationSummary) {
 	a.n++
 }
 
-func (a *fedAgg) carbon() float64   { return a.sumCarbon / float64(a.n) }
-func (a *fedAgg) makespan() float64 { return a.sumMakespan / float64(a.n) }
-func (a *fedAgg) jct() float64      { return a.sumJCT / float64(a.n) }
+// summary folds the trial means back into a FederationSummary so the
+// averaged row renders through the same metrics table shape as a single
+// run.
+func (a *fedAgg) summary() metrics.FederationSummary {
+	n := float64(a.n)
+	return metrics.FederationSummary{
+		CarbonGrams: a.sumCarbon / n,
+		Makespan:    a.sumMakespan / n,
+		AvgJCT:      a.sumJCT / n,
+	}
+}

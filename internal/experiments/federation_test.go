@@ -14,15 +14,15 @@ func TestFederationHonorsGridRestriction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(rep.Body, "scenario DE —") {
-		t.Fatalf("missing single-grid scenario header:\n%s", rep.Body)
+	if !strings.Contains(rep.Body(), "scenario DE —") {
+		t.Fatalf("missing single-grid scenario header:\n%s", rep.Body())
 	}
-	if strings.Contains(rep.Body, "CAISO") {
-		t.Fatalf("grid restriction widened to default scenarios:\n%s", rep.Body)
+	if strings.Contains(rep.Body(), "CAISO") {
+		t.Fatalf("grid restriction widened to default scenarios:\n%s", rep.Body())
 	}
 	// With one cluster every router routes identically, so all rows
 	// match round-robin exactly.
-	for _, line := range strings.Split(rep.Body, "\n") {
+	for _, line := range strings.Split(rep.Body(), "\n") {
 		if strings.Contains(line, "fed:") && !strings.Contains(line, "+0.0%") && !strings.Contains(line, "fed:forecast+CAP") {
 			t.Fatalf("one-cluster federation row diverged from RR: %q", line)
 		}
@@ -34,7 +34,7 @@ func TestFederationPairScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(rep.Body, "scenario ON+ZA —") || !strings.Contains(rep.Body, "fed:lowest-intensity") {
-		t.Fatalf("unexpected pair-scenario body:\n%s", rep.Body)
+	if !strings.Contains(rep.Body(), "scenario ON+ZA —") || !strings.Contains(rep.Body(), "fed:lowest-intensity") {
+		t.Fatalf("unexpected pair-scenario body:\n%s", rep.Body())
 	}
 }

@@ -8,9 +8,10 @@ import (
 	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
 	"pcaps/internal/optimal"
+	"pcaps/internal/result"
 )
 
-func init() { register("fig1", fig1) }
+func init() { register("fig1", "motivating example: four policies on one DAG (§1, Fig 1)", fig1) }
 
 // motivatingJob is the Fig. 1 example: a fork-join DAG whose long
 // green→purple chain must be prioritized to finish early. The short side
@@ -175,7 +176,7 @@ func maxOf(xs []float64) float64 {
 // deadline), and PCAPS on the example DAG. Paper: C-OPT −51.2% carbon at
 // +28.5% time; PCAPS −23.1% carbon and 7% earlier completion, both vs
 // FIFO.
-func fig1(opt Options) (*Report, error) {
+func fig1(opt Options) (*result.Artifact, error) {
 	carbonTrace := fig1Carbon()
 	// As in the paper, C-OPT may use the whole 18-hour window as its
 	// deadline (their FIFO takes 14 hours, ours 13).
@@ -210,22 +211,30 @@ func fig1(opt Options) (*Report, error) {
 	}
 
 	baseC, baseT := fifo.CarbonCost(carbonTrace), fifo.Makespan()
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-7s %9s %12s %10s %12s\n", "policy", "hours", "Δtime", "carbon", "Δcarbon")
+	t := &result.Table{
+		Name: "policies",
+		Columns: []result.Column{
+			{Name: "policy", Kind: result.KindString, Header: "policy", HeaderFormat: "%-7s", Format: "%-7s"},
+			{Name: "hours", Kind: result.KindInt, Header: "hours", HeaderFormat: " %9s", Format: " %9d"},
+			{Name: "time_delta_pct", Kind: result.KindFloat, Prec: 1, Header: "Δtime", HeaderFormat: " %12s", Format: " %+11.1f%%"},
+			{Name: "carbon", Kind: result.KindFloat, Header: "carbon", HeaderFormat: " %10s", Format: " %10.0f"},
+			{Name: "carbon_delta_pct", Kind: result.KindFloat, Prec: 1, Header: "Δcarbon", HeaderFormat: " %12s", Format: " %+11.1f%%"},
+		},
+	}
 	row := func(name string, s *optimal.Schedule) {
 		c := s.CarbonCost(carbonTrace)
-		fmt.Fprintf(&b, "%-7s %9d %+11.1f%% %10.0f %+11.1f%%\n",
-			name, s.Makespan(),
-			metrics.PercentChange(float64(s.Makespan()), float64(baseT)),
-			c, metrics.PercentChange(c, baseC))
+		t.Row(result.Str(name), result.Int(s.Makespan()),
+			result.Float(metrics.PercentChange(float64(s.Makespan()), float64(baseT))),
+			result.Float(c), result.Float(metrics.PercentChange(c, baseC)))
 	}
 	row("FIFO", fifo)
 	row("T-OPT", topt)
 	row("C-OPT", copt)
 	row("PCAPS", pc)
-	b.WriteString("paper: C-OPT −51.2% carbon / +28.5% time; PCAPS −23.1% carbon / −7% time (vs FIFO)\n")
-	b.WriteString(renderTimeline("FIFO ", fifo, inst) + renderTimeline("C-OPT", copt, inst) + renderTimeline("PCAPS", pc, inst))
-	return &Report{ID: "fig1", Title: "motivating example: four policies on one DAG (§1, Fig 1)", Body: b.String()}, nil
+	a := result.New().Add(t)
+	a.Textf("paper: C-OPT −51.2%% carbon / +28.5%% time; PCAPS −23.1%% carbon / −7%% time (vs FIFO)\n")
+	a.Textf("%s", renderTimeline("FIFO ", fifo, inst)+renderTimeline("C-OPT", copt, inst)+renderTimeline("PCAPS", pc, inst))
+	return a, nil
 }
 
 // renderTimeline draws an ASCII occupancy strip: one row per policy,

@@ -1,18 +1,16 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
 func init() {
-	register("fig10", fig10)
-	register("fig14", fig14)
+	register("fig10", "prototype carbon reduction and ECT per grid (Fig 10)", fig10)
+	register("fig14", "simulator carbon reduction and ECT per grid (Fig 14)", fig14)
 }
 
 // gridRow aggregates one scheduler's per-grid outcomes.
@@ -29,12 +27,27 @@ func newGridRow(grids []string) *gridRow {
 	return g
 }
 
+// perGridTable is one of the two fig10/14 sub-tables: scheduler rows,
+// one typed column per grid.
+func perGridTable(name string, grids []string, prec int, format string) *result.Table {
+	cols := []result.Column{
+		{Name: "scheduler", Kind: result.KindString, Header: "scheduler", HeaderFormat: "%-12s", Format: "%-12s"},
+	}
+	for _, g := range grids {
+		cols = append(cols, result.Column{
+			Name: g, Kind: result.KindFloat, Prec: prec,
+			Header: g, HeaderFormat: "%10s", Format: format,
+		})
+	}
+	return &result.Table{Name: name, Columns: cols}
+}
+
 // perGrid runs the per-grid comparison of Figs. 10 and 14: for each grid,
 // trials of {aware schedulers} vs a baseline, reporting carbon reduction
 // and relative ECT.
 func perGrid(opt Options, proto bool, mix workload.Mix,
 	baseline func(seed int64) sim.Scheduler,
-	schedulers map[string]func(seed int64) sim.Scheduler, paperNote string, id, title string) (*Report, error) {
+	schedulers map[string]func(seed int64) sim.Scheduler, paperNote string) (*result.Artifact, error) {
 	e := newEnv(opt)
 	trials := opt.Trials
 	if trials <= 0 {
@@ -95,38 +108,34 @@ func perGrid(opt Options, proto bool, mix workload.Mix,
 			rows[name].ects[c.grid] = append(rows[name].ects[c.grid], r.ECT/base.ECT)
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "carbon reduction (%%):\n%-12s", "scheduler")
-	for _, g := range e.opt.Grids {
-		fmt.Fprintf(&b, "%10s", g)
-	}
-	b.WriteString("\n")
+	a := result.New()
+	a.Textf("carbon reduction (%%):\n")
+	carbonT := perGridTable("carbon_reduction_pct", e.opt.Grids, 1, "%10.1f")
 	for _, name := range names {
-		fmt.Fprintf(&b, "%-12s", name)
+		cells := []result.Cell{result.Str(name)}
 		for _, g := range e.opt.Grids {
-			fmt.Fprintf(&b, "%10.1f", metrics.Summarize(rows[name].carbonPct[g]).Mean)
+			cells = append(cells, result.Float(metrics.Summarize(rows[name].carbonPct[g]).Mean))
 		}
-		b.WriteString("\n")
+		carbonT.Rows = append(carbonT.Rows, cells)
 	}
-	fmt.Fprintf(&b, "relative ECT:\n%-12s", "scheduler")
-	for _, g := range e.opt.Grids {
-		fmt.Fprintf(&b, "%10s", g)
-	}
-	b.WriteString("\n")
+	a.Add(carbonT)
+	a.Textf("relative ECT:\n")
+	ectT := perGridTable("relative_ect", e.opt.Grids, 3, "%10.3f")
 	for _, name := range names {
-		fmt.Fprintf(&b, "%-12s", name)
+		cells := []result.Cell{result.Str(name)}
 		for _, g := range e.opt.Grids {
-			fmt.Fprintf(&b, "%10.3f", metrics.Summarize(rows[name].ects[g]).Mean)
+			cells = append(cells, result.Float(metrics.Summarize(rows[name].ects[g]).Mean))
 		}
-		b.WriteString("\n")
+		ectT.Rows = append(ectT.Rows, cells)
 	}
-	b.WriteString(paperNote)
-	return &Report{ID: id, Title: title, Body: b.String()}, nil
+	a.Add(ectT)
+	a.Textf("%s", paperNote)
+	return a, nil
 }
 
 // fig10 regenerates the prototype per-grid comparison (Fig. 10): PCAPS,
 // CAP, and Decima vs the Spark/Kubernetes default across the six grids.
-func fig10(opt Options) (*Report, error) {
+func fig10(opt Options) (*result.Artifact, error) {
 	return perGrid(opt, true, workload.MixBoth,
 		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
 		map[string]func(seed int64) sim.Scheduler{
@@ -134,13 +143,12 @@ func fig10(opt Options) (*Report, error) {
 			"CAP":    func(seed int64) sim.Scheduler { return sched.NewCAP(sched.NewKubeDefault(), 20) },
 			"PCAPS":  func(seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
 		},
-		"paper: variable grids (CAISO, ON, DE) yield the largest reductions and ECT costs; flat ZA yields minimal change; Decima is ~flat everywhere\n",
-		"fig10", "prototype carbon reduction and ECT per grid (Fig 10)")
+		"paper: variable grids (CAISO, ON, DE) yield the largest reductions and ECT costs; flat ZA yields minimal change; Decima is ~flat everywhere\n")
 }
 
 // fig14 regenerates the simulator per-grid comparison (Fig. 14): PCAPS,
 // CAP-FIFO, and Decima vs FIFO.
-func fig14(opt Options) (*Report, error) {
+func fig14(opt Options) (*result.Artifact, error) {
 	return perGrid(opt, false, workload.MixTPCH,
 		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
 		map[string]func(seed int64) sim.Scheduler{
@@ -148,6 +156,5 @@ func fig14(opt Options) (*Report, error) {
 			"CAP-FIFO": func(seed int64) sim.Scheduler { return sched.NewCAP(&sched.FIFO{}, 20) },
 			"PCAPS":    func(seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
 		},
-		"paper: same grid ordering as Fig 10, with Decima's baseline reduction higher than in the prototype (A.1.2)\n",
-		"fig14", "simulator carbon reduction and ECT per grid (Fig 14)")
+		"paper: same grid ordering as Fig 10, with Decima's baseline reduction higher than in the prototype (A.1.2)\n")
 }

@@ -4,25 +4,27 @@ import (
 	"fmt"
 	"strings"
 
-	"pcaps/internal/carbon"
 	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
 func init() {
-	register("fig5", fig5)
-	register("fig6", fig6)
-	register("fig9", fig9)
-	register("fig15", fig15)
+	register("fig5", "48-hour carbon intensity snapshots (Fig 5)", fig5)
+	register("fig6", "executor occupancy timelines, 5 executors / 20 jobs / DE (Fig 6)", fig6)
+	register("fig9", "per-job carbon vs JCT scatter, prototype (Fig 9)", fig9)
+	register("fig15", "standalone FIFO vs prototype default, identical batch (Fig 15 / A.1.2)", fig15)
 }
 
-// fig5 renders 48-hour snapshots of the six grids (Fig. 5).
-func fig5(opt Options) (*Report, error) {
+// fig5 renders 48-hour snapshots of the six grids (Fig. 5): one series
+// per grid carrying every hourly sample, with the text form showing
+// every fourth value plus a sparkline.
+func fig5(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt)
-	var b strings.Builder
+	a := result.New()
 	const hours = 48
 	for _, name := range e.opt.Grids {
 		tr, ok := e.traces[name]
@@ -31,17 +33,20 @@ func fig5(opt Options) (*Report, error) {
 		}
 		// A mid-January window: day 14 of the trace year.
 		win := tr.Slice(14*24*tr.Interval, hours*tr.Interval)
-		fmt.Fprintf(&b, "%-6s", name)
-		for i, v := range win.Values {
-			if i%4 == 0 {
-				fmt.Fprintf(&b, " %4.0f", v)
-			}
+		s := &result.Series{
+			Name: name, XLabel: "hour", YLabels: []string{"gco2eq_per_kwh"},
+			Prefix:      fmt.Sprintf("%-6s", name),
+			PointFormat: " %4.0f", Every: 4,
+			Suffix: "  (every 4th hour)\n",
 		}
-		b.WriteString("  (every 4th hour)\n")
-		b.WriteString("      " + sparkline(win.Values) + "\n")
+		for i, v := range win.Values {
+			s.Point(float64(i), v)
+		}
+		a.Add(s)
+		a.Textf("%s", "      "+sparkline(win.Values)+"\n")
 	}
-	b.WriteString("paper: DE and CAISO swing widely over the day; ZA is nearly flat\n")
-	return &Report{ID: "fig5", Title: "48-hour carbon intensity snapshots (Fig 5)", Body: b.String()}, nil
+	a.Textf("paper: DE and CAISO swing widely over the day; ZA is nearly flat\n")
+	return a, nil
 }
 
 // sparkline draws values as a row of density glyphs.
@@ -93,8 +98,9 @@ func occupancyStrip(res *sim.Result, interval float64, k int, upTo int) string {
 
 // fig6 visualizes executor occupancy for Decima, PCAPS, and CAP-FIFO on a
 // 5-executor cluster with 20 TPC-H jobs over 15 hours in the DE grid
-// (Fig. 6).
-func fig6(opt Options) (*Report, error) {
+// (Fig. 6). Each policy is one table row: the occupancy and dominant-job
+// strips travel as string cells, the footprint numbers as floats.
+func fig6(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	tr := e.traces["DE"].Slice(0, 200*60)
 	seed := e.opt.Seed
@@ -103,7 +109,6 @@ func fig6(opt Options) (*Report, error) {
 	cfg.NumExecutors = 5
 	cfg.TrackJobUsage = true
 	const hours = 40 // the experiment's visible window (paper shows 15)
-	var b strings.Builder
 	policies := []struct {
 		name string
 		s    sim.Scheduler
@@ -116,26 +121,41 @@ func fig6(opt Options) (*Report, error) {
 	forEach(e.opt.pool, len(policies), func(i int) {
 		results[i] = mustRun(cfg, jobs, policies[i].s)
 	})
+	t := &result.Table{
+		Name: "occupancy",
+		Columns: []result.Column{
+			{Name: "policy", Kind: result.KindString, Format: "%-9s"},
+			{Name: "occupancy_strip", Kind: result.KindString, Format: " |%s|"},
+			{Name: "carbon_grams", Kind: result.KindFloat, Format: " carbon=%6.0f g"},
+			{Name: "ect_sec", Kind: result.KindFloat, Format: "  ECT=%5.0f s"},
+			{Name: "dominant_job_strip", Kind: result.KindString,
+				Format: "\n          |%s| (dominant job per hour)"},
+		},
+	}
 	for i, p := range policies {
 		r := results[i]
-		fmt.Fprintf(&b, "%-9s |%s| carbon=%6.0f g  ECT=%5.0f s\n",
-			p.name, occupancyStrip(r, tr.Interval, 5, hours), r.CarbonGrams, r.ECT)
-		fmt.Fprintf(&b, "%-9s |%s| (dominant job per hour)\n", "", dominantJobStrip(r, hours))
+		t.Row(result.Str(p.name),
+			result.Str(occupancyStrip(r, tr.Interval, 5, hours)),
+			result.Float(r.CarbonGrams), result.Float(r.ECT),
+			result.Str(dominantJobStrip(r, hours)))
 	}
+	a := result.New().Add(t)
 	dec, pc, cap := results[0], results[1], results[2]
-	fmt.Fprintf(&b, "%-9s |%s| (gCO2eq/kWh per hour)\n", "carbon", sparkline(tr.Values[:hours]))
+	a.Textf("%-9s |%s| (gCO2eq/kWh per hour)\n", "carbon", sparkline(tr.Values[:hours]))
 	if pc.CarbonGrams >= dec.CarbonGrams || pc.CarbonGrams >= cap.CarbonGrams {
-		b.WriteString("note: paper shows PCAPS with the lowest footprint of the three\n")
+		a.Textf("note: paper shows PCAPS with the lowest footprint of the three\n")
 	} else {
-		b.WriteString("as in the paper, PCAPS achieves the lowest footprint of the three schedules\n")
+		a.Textf("as in the paper, PCAPS achieves the lowest footprint of the three schedules\n")
 	}
-	return &Report{ID: "fig6", Title: "executor occupancy timelines, 5 executors / 20 jobs / DE (Fig 6)", Body: b.String()}, nil
+	return a, nil
 }
 
 // fig9 regenerates the per-job scatter (Fig. 9): one point per trial of
 // (normalized avg JCT, normalized per-job carbon) for moderate PCAPS and
-// CAP in the prototype, with quadrant shares and KDE hot spots.
-func fig9(opt Options) (*Report, error) {
+// CAP in the prototype. The raw scatter travels as data-only series; the
+// text keeps its historical quadrant/KDE summary, built as table rows
+// (the KDE cells are absent when too few points support a fit).
+func fig9(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt)
 	trials := opt.Trials
 	if trials <= 0 {
@@ -180,21 +200,47 @@ func fig9(opt Options) (*Report, error) {
 		pcapsPts = append(pcapsPts, metrics.Point{X: r.pc.AvgJCT / r.base.AvgJCT, Y: perJob(r.pc) / perJob(r.base)})
 		capPts = append(capPts, metrics.Point{X: r.cp.AvgJCT / r.base.AvgJCT, Y: perJob(r.cp) / perJob(r.base)})
 	}
-	var b strings.Builder
-	render := func(name string, pts []metrics.Point) {
+	a := result.New()
+	t := &result.Table{
+		Name: "quadrants",
+		Columns: []result.Column{
+			{Name: "policy", Kind: result.KindString, Format: "%-6s"},
+			{Name: "both_better_pct", Kind: result.KindFloat, Prec: 1, Format: " quadrants: both-better %.1f%%"},
+			{Name: "carbon_only_pct", Kind: result.KindFloat, Prec: 1, Format: ", carbon-only %.1f%%"},
+			{Name: "time_only_pct", Kind: result.KindFloat, Prec: 1, Format: ", time-only %.1f%%"},
+			{Name: "both_worse_pct", Kind: result.KindFloat, Prec: 1, Format: ", both-worse %.1f%%"},
+			{Name: "carbon_improved_pct", Kind: result.KindFloat, Prec: 1, Format: " (carbon improved: %.1f%%)"},
+			{Name: "kde_mode_jct", Kind: result.KindFloat, Prec: 2, Format: "\n       KDE hot spot: JCT %.2f"},
+			{Name: "kde_mode_carbon", Kind: result.KindFloat, Prec: 2, Format: ", per-job carbon %.2f"},
+		},
+	}
+	addPolicy := func(name, seriesName string, pts []metrics.Point) {
+		s := &result.Series{
+			Name: seriesName, XLabel: "normalized_avg_jct",
+			YLabels: []string{"normalized_per_job_carbon"},
+		}
+		for _, p := range pts {
+			s.Point(p.X, p.Y)
+		}
+		a.Add(s)
 		q := metrics.Quadrants(pts, 1, 1)
-		fmt.Fprintf(&b, "%-6s quadrants: both-better %.1f%%, carbon-only %.1f%%, time-only %.1f%%, both-worse %.1f%% (carbon improved: %.1f%%)\n",
-			name, 100*q.BothBetter, 100*q.CarbonOnly, 100*q.TimeOnly, 100*q.BothWorse,
-			100*(q.BothBetter+q.CarbonOnly))
+		row := []result.Cell{
+			result.Str(name),
+			result.Float(100 * q.BothBetter), result.Float(100 * q.CarbonOnly),
+			result.Float(100 * q.TimeOnly), result.Float(100 * q.BothWorse),
+			result.Float(100 * (q.BothBetter + q.CarbonOnly)),
+		}
 		if kde, err := metrics.NewKDE2D(pts); err == nil {
 			m := kde.Mode(30)
-			fmt.Fprintf(&b, "       KDE hot spot: JCT %.2f, per-job carbon %.2f\n", m.X, m.Y)
+			row = append(row, result.Float(m.X), result.Float(m.Y))
 		}
+		t.Rows = append(t.Rows, row)
 	}
-	render("PCAPS", pcapsPts)
-	render("CAP", capPts)
-	b.WriteString("paper: PCAPS improves per-job carbon in 95.8% of trials and both metrics in 25.7%; CAP both in 2.1%\n")
-	return &Report{ID: "fig9", Title: "per-job carbon vs JCT scatter, prototype (Fig 9)", Body: b.String()}, nil
+	addPolicy("PCAPS", "pcaps_scatter", pcapsPts)
+	addPolicy("CAP", "cap_scatter", capPts)
+	a.Add(t)
+	a.Textf("paper: PCAPS improves per-job carbon in 95.8%% of trials and both metrics in 25.7%%; CAP both in 2.1%%\n")
+	return a, nil
 }
 
 // dominantJobStrip renders, for each interval, a letter identifying the
@@ -238,7 +284,7 @@ func jobsInSystem(jobs []*dag.Job, res *sim.Result, interval float64, upTo int) 
 // batch of 50 TPC-H jobs under the simulator's standalone FIFO and the
 // prototype's capped default, with occupancy and jobs-in-system
 // timelines.
-func fig15(opt Options) (*Report, error) {
+func fig15(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	seed := e.opt.Seed
 	n := 50
@@ -262,9 +308,9 @@ func fig15(opt Options) (*Report, error) {
 	if len(proto.Usage) > hours {
 		hours = len(proto.Usage)
 	}
-	var b strings.Builder
+	a := result.New()
 	strip := func(name string, r *sim.Result) {
-		fmt.Fprintf(&b, "%-10s busy |%s| (0-9 ≈ 0-100 executors)\n", name,
+		a.Textf("%-10s busy |%s| (0-9 ≈ 0-100 executors)\n", name,
 			scaledOccupancy(r, tr.Interval, hours))
 		sys := jobsInSystem(jobs, r, tr.Interval, hours)
 		var sb strings.Builder
@@ -277,15 +323,25 @@ func fig15(opt Options) (*Report, error) {
 				fmt.Fprintf(&sb, "%d", v)
 			}
 		}
-		fmt.Fprintf(&b, "%-10s jobs |%s|\n", name, sb.String())
+		a.Textf("%-10s jobs |%s|\n", name, sb.String())
 	}
 	strip("simulator", fifo)
 	strip("prototype", proto)
-	fmt.Fprintf(&b, "carbon: prototype vs simulator FIFO %+.1f%% (paper −18.8%%)\n",
-		metrics.PercentChange(proto.CarbonGrams, fifo.CarbonGrams))
-	fmt.Fprintf(&b, "avg JCT: prototype vs simulator FIFO %+.1f%% (paper −22.1%%)\n",
-		metrics.PercentChange(proto.AvgJCT, fifo.AvgJCT))
-	return &Report{ID: "fig15", Title: "standalone FIFO vs prototype default, identical batch (Fig 15 / A.1.2)", Body: b.String()}, nil
+	t := &result.Table{
+		Name: "fidelity",
+		Columns: []result.Column{
+			{Name: "metric", Kind: result.KindString, Format: "%s"},
+			{Name: "prototype_vs_simulator_pct", Kind: result.KindFloat, Prec: 1,
+				Format: ": prototype vs simulator FIFO %+.1f%%"},
+			{Name: "paper", Kind: result.KindString, Format: " (paper %s)"},
+		},
+	}
+	t.Row(result.Str("carbon"),
+		result.Float(metrics.PercentChange(proto.CarbonGrams, fifo.CarbonGrams)), result.Str("−18.8%"))
+	t.Row(result.Str("avg JCT"),
+		result.Float(metrics.PercentChange(proto.AvgJCT, fifo.AvgJCT)), result.Str("−22.1%"))
+	a.Add(t)
+	return a, nil
 }
 
 // scaledOccupancy renders busy executors on a 0-9 scale of the cluster
@@ -309,6 +365,3 @@ func scaledOccupancy(res *sim.Result, interval float64, upTo int) string {
 	}
 	return b.String()
 }
-
-// silence the carbon import when builds shuffle helpers around.
-var _ = carbon.PaperHours

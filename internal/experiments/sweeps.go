@@ -1,22 +1,20 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
 	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
 func init() {
-	register("fig7", fig7)
-	register("fig8", fig8)
-	register("fig11", fig11)
-	register("fig12", fig12)
-	register("fig13", fig13)
+	register("fig7", "prototype PCAPS trade-off vs γ (Fig 7)", fig7)
+	register("fig8", "prototype CAP trade-off vs B (Fig 8)", fig8)
+	register("fig11", "simulator PCAPS trade-off vs γ (Fig 11)", fig11)
+	register("fig12", "simulator CAP-FIFO trade-off vs B (Fig 12)", fig12)
+	register("fig13", "PCAPS vs CAP-Decima trade-off frontier (Fig 13)", fig13)
 }
 
 // sweepPoint aggregates trials of one parameter setting.
@@ -34,17 +32,29 @@ type trialState struct {
 	base *sim.Result
 }
 
-// renderSweep prints one row per parameter value: mean ± std for carbon
-// reduction and relative ECT.
-func renderSweep(label string, pts []sweepPoint) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%8s %16s %18s\n", label, "carbon red. (%)", "relative ECT")
+// sweepTable builds the shared sweep shape: one row per parameter value,
+// mean ± std for carbon reduction and relative ECT.
+func sweepTable(label string, pts []sweepPoint) *result.Table {
+	t := &result.Table{
+		Name: "sweep",
+		Columns: []result.Column{
+			{Name: "param", Kind: result.KindFloat, Prec: 2, Header: label, HeaderFormat: "%8s", Format: "%8.2f"},
+			{Name: "carbon_reduction_pct_mean", Kind: result.KindFloat, Prec: 1,
+				Header: "carbon red. (%)", HeaderFormat: " %16s", Format: " %10.1f"},
+			{Name: "carbon_reduction_pct_std", Kind: result.KindFloat, Prec: 1, Format: " ±%4.1f"},
+			{Name: "relative_ect_mean", Kind: result.KindFloat, Prec: 3,
+				Header: "relative ECT", HeaderFormat: " %18s", Format: " %12.3f"},
+			{Name: "relative_ect_std", Kind: result.KindFloat, Prec: 3, Format: " ±%.3f"},
+		},
+	}
 	for _, p := range pts {
 		c := metrics.Summarize(p.carbonPct)
 		e := metrics.Summarize(p.ects)
-		fmt.Fprintf(&b, "%8.2f %10.1f ±%4.1f %12.3f ±%.3f\n", p.param, c.Mean, c.Std, e.Mean, e.Std)
+		t.Row(result.Float(p.param),
+			result.Float(c.Mean), result.Float(c.Std),
+			result.Float(e.Mean), result.Float(e.Std))
 	}
-	return b.String()
+	return t
 }
 
 // sweep runs a parameter sweep in the DE grid with 50-job batches,
@@ -105,53 +115,68 @@ func sweep(opt Options, proto bool, mix workload.Mix,
 // fig7 regenerates the prototype PCAPS γ-sweep: carbon reduction and
 // relative ECT vs the Spark/Kubernetes default for five carbon-awareness
 // settings (Fig. 7).
-func fig7(opt Options) (*Report, error) {
+func fig7(opt Options) (*result.Artifact, error) {
 	pts := sweep(opt, true, workload.MixBoth,
 		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
 		[]float64{0.1, 0.25, 0.5, 0.75, 1.0},
 		func(g float64, seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), g, seed) })
-	body := renderSweep("γ", pts) +
-		"paper: carbon savings grow with γ, steeply near γ→1, at the cost of longer ECT\n"
-	return &Report{ID: "fig7", Title: "prototype PCAPS trade-off vs γ (Fig 7)", Body: body}, nil
+	a := result.New().Add(sweepTable("γ", pts))
+	a.Textf("paper: carbon savings grow with γ, steeply near γ→1, at the cost of longer ECT\n")
+	return a, nil
 }
 
 // fig8 regenerates the prototype CAP B-sweep (Fig. 8).
-func fig8(opt Options) (*Report, error) {
+func fig8(opt Options) (*result.Artifact, error) {
 	pts := sweep(opt, true, workload.MixBoth,
 		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
 		[]float64{5, 20, 40, 60, 80},
 		func(b float64, seed int64) sim.Scheduler { return sched.NewCAP(sched.NewKubeDefault(), int(b)) })
-	body := renderSweep("B", pts) +
-		"paper: smaller B (stricter quota) saves more carbon but sacrifices more ECT than PCAPS\n"
-	return &Report{ID: "fig8", Title: "prototype CAP trade-off vs B (Fig 8)", Body: body}, nil
+	a := result.New().Add(sweepTable("B", pts))
+	a.Textf("paper: smaller B (stricter quota) saves more carbon but sacrifices more ECT than PCAPS\n")
+	return a, nil
 }
 
 // fig11 regenerates the simulator PCAPS γ-sweep vs FIFO (Fig. 11).
-func fig11(opt Options) (*Report, error) {
+func fig11(opt Options) (*result.Artifact, error) {
 	pts := sweep(opt, false, workload.MixTPCH,
 		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
 		[]float64{0.1, 0.25, 0.5, 0.75, 1.0},
 		func(g float64, seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), g, seed) })
-	body := renderSweep("γ", pts) +
-		"paper: savings improve with γ, most pronounced approaching 1\n"
-	return &Report{ID: "fig11", Title: "simulator PCAPS trade-off vs γ (Fig 11)", Body: body}, nil
+	a := result.New().Add(sweepTable("γ", pts))
+	a.Textf("paper: savings improve with γ, most pronounced approaching 1\n")
+	return a, nil
 }
 
 // fig12 regenerates the simulator CAP-FIFO B-sweep vs FIFO (Fig. 12).
-func fig12(opt Options) (*Report, error) {
+func fig12(opt Options) (*result.Artifact, error) {
 	pts := sweep(opt, false, workload.MixTPCH,
 		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
 		[]float64{5, 20, 40, 60, 80},
 		func(b float64, seed int64) sim.Scheduler { return sched.NewCAP(&sched.FIFO{}, int(b)) })
-	body := renderSweep("B", pts) +
-		"paper: CAP-FIFO sacrifices more ECT than PCAPS for the same savings; the increase begins at milder settings\n"
-	return &Report{ID: "fig12", Title: "simulator CAP-FIFO trade-off vs B (Fig 12)", Body: body}, nil
+	a := result.New().Add(sweepTable("B", pts))
+	a.Textf("paper: CAP-FIFO sacrifices more ECT than PCAPS for the same savings; the increase begins at milder settings\n")
+	return a, nil
+}
+
+// frontierSeries renders one method's trade-off cloud: x = relative ECT,
+// y = carbon reduction %.
+func frontierSeries(name, display string, pts []metrics.Point) *result.Series {
+	s := &result.Series{
+		Name: name, XLabel: "relative_ect", YLabels: []string{"carbon_reduction_pct"},
+		Prefix:      display + " points (relative ECT, carbon red. %):\n",
+		PointFormat: "  (%.3f, %5.1f)", WithX: true,
+		Suffix: "\n",
+	}
+	for _, p := range pts {
+		s.Point(p.X, p.Y)
+	}
+	return s
 }
 
 // fig13 regenerates the PCAPS vs CAP-Decima trade-off frontier: trials
 // across γ ∈ [0.1, 1.0] and B ∈ {5, …, 85}, a cubic fit per method, and
 // the paper's two frontier comparisons.
-func fig13(opt Options) (*Report, error) {
+func fig13(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	trials := opt.Trials
 	if trials <= 0 {
@@ -201,19 +226,15 @@ func fig13(opt Options) (*Report, error) {
 			capPts = append(capPts, point(runs[t*perTrial+len(gammas)+i]))
 		}
 	}
-	var b strings.Builder
-	render := func(name string, pts []metrics.Point) {
-		fmt.Fprintf(&b, "%s points (relative ECT, carbon red. %%):\n", name)
-		for _, p := range pts {
-			fmt.Fprintf(&b, "  (%.3f, %5.1f)", p.X, p.Y)
-		}
-		b.WriteString("\n")
+	a := result.New()
+	render := func(name, display string, pts []metrics.Point) {
+		a.Add(frontierSeries(name, display, pts))
 		if coef, err := metrics.PolyFit(pts, 3); err == nil {
-			fmt.Fprintf(&b, "  cubic fit: %.1f %+.1fx %+.1fx² %+.1fx³\n", coef[0], coef[1], coef[2], coef[3])
+			a.Textf("  cubic fit: %.1f %+.1fx %+.1fx² %+.1fx³\n", coef[0], coef[1], coef[2], coef[3])
 		}
 	}
-	render("PCAPS", pcapsPts)
-	render("CAP-Decima", capPts)
+	render("pcaps_frontier", "PCAPS", pcapsPts)
+	render("cap_decima_frontier", "CAP-Decima", capPts)
 
 	// The paper's two comparisons: mean ECT increase among trials with
 	// 35-45% savings, and mean savings among trials with ECT +0-10%.
@@ -247,9 +268,9 @@ func fig13(opt Options) (*Report, error) {
 	}
 	pe, pn := band(pcapsPts, 35, 45)
 	ce, cn := band(capPts, 35, 45)
-	fmt.Fprintf(&b, "ECT increase at 35-45%% savings: PCAPS %+.1f%% (n=%d) vs CAP-Decima %+.1f%% (n=%d); paper +7.9%% vs +42.7%%\n", pe, pn, ce, cn)
+	a.Textf("ECT increase at 35-45%% savings: PCAPS %+.1f%% (n=%d) vs CAP-Decima %+.1f%% (n=%d); paper +7.9%% vs +42.7%%\n", pe, pn, ce, cn)
 	ps, pn2 := savingsBand(pcapsPts)
 	cs, cn2 := savingsBand(capPts)
-	fmt.Fprintf(&b, "savings at ECT +0-10%%: PCAPS %.1f%% (n=%d) vs CAP-Decima %.1f%% (n=%d); paper 35.6%% vs 20.1%%\n", ps, pn2, cs, cn2)
-	return &Report{ID: "fig13", Title: "PCAPS vs CAP-Decima trade-off frontier (Fig 13)", Body: b.String()}, nil
+	a.Textf("savings at ECT +0-10%%: PCAPS %.1f%% (n=%d) vs CAP-Decima %.1f%% (n=%d); paper 35.6%% vs 20.1%%\n", ps, pn2, cs, cn2)
+	return a, nil
 }

@@ -1,19 +1,17 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
 	"pcaps/internal/metrics"
+	"pcaps/internal/result"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
 
 func init() {
-	register("table1", table1)
-	register("table2", table2)
-	register("table3", table3)
+	register("table1", "carbon intensity trace characteristics", table1)
+	register("table2", "prototype results summary (§6.3)", table2)
+	register("table3", "simulator results summary (§6.4)", table3)
 }
 
 // paperTable1 holds the published Table 1 values for side-by-side
@@ -27,12 +25,24 @@ var paperTable1 = map[string][4]float64{
 	"ZA":    {586, 785, 713, 0.046},
 }
 
-// table1 regenerates Table 1: carbon-trace characteristics per grid.
-func table1(opt Options) (*Report, error) {
+// table1 regenerates Table 1: carbon-trace characteristics per grid,
+// measured columns next to the paper's published quadruple.
+func table1(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt)
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-6s %9s %9s %9s %10s   %s\n",
-		"grid", "min", "max", "mean", "coeff.var", "paper(min/max/mean/cv)")
+	t := &result.Table{
+		Name: "traces",
+		Columns: []result.Column{
+			{Name: "grid", Kind: result.KindString, Header: "grid", HeaderFormat: "%-6s", Format: "%-6s"},
+			{Name: "min", Kind: result.KindFloat, Header: "min", HeaderFormat: " %9s", Format: " %9.0f"},
+			{Name: "max", Kind: result.KindFloat, Header: "max", HeaderFormat: " %9s", Format: " %9.0f"},
+			{Name: "mean", Kind: result.KindFloat, Header: "mean", HeaderFormat: " %9s", Format: " %9.0f"},
+			{Name: "coeff_var", Kind: result.KindFloat, Prec: 3, Header: "coeff.var", HeaderFormat: " %10s", Format: " %10.3f"},
+			{Name: "paper_min", Kind: result.KindFloat, Header: "paper(min/max/mean/cv)", HeaderFormat: "   %s", Format: "   %.0f"},
+			{Name: "paper_max", Kind: result.KindFloat, Format: "/%.0f"},
+			{Name: "paper_mean", Kind: result.KindFloat, Format: "/%.0f"},
+			{Name: "paper_cv", Kind: result.KindFloat, Prec: 3, Format: "/%.3f"},
+		},
+	}
 	for _, name := range e.opt.Grids {
 		tr, ok := e.traces[name]
 		if !ok {
@@ -40,11 +50,13 @@ func table1(opt Options) (*Report, error) {
 		}
 		s := tr.Stats()
 		p := paperTable1[name]
-		fmt.Fprintf(&b, "%-6s %9.0f %9.0f %9.0f %10.3f   %.0f/%.0f/%.0f/%.3f\n",
-			name, s.Min, s.Max, s.Mean, s.CoeffVar, p[0], p[1], p[2], p[3])
+		t.Row(result.Str(name),
+			result.Float(s.Min), result.Float(s.Max), result.Float(s.Mean), result.Float(s.CoeffVar),
+			result.Float(p[0]), result.Float(p[1]), result.Float(p[2]), result.Float(p[3]))
 	}
-	fmt.Fprintf(&b, "(%d hourly samples per grid; paper uses 26,304)\n", e.opt.Hours)
-	return &Report{ID: "table1", Title: "carbon intensity trace characteristics", Body: b.String()}, nil
+	a := result.New().Add(t)
+	a.Textf("(%d hourly samples per grid; paper uses 26,304)\n", e.opt.Hours)
+	return a, nil
 }
 
 // normTriple holds one scheduler's three Table 2/3 metrics, normalized to
@@ -62,12 +74,30 @@ func (a *normTriple) add(base, r *sim.Result) {
 	a.n++
 }
 
-func (a *normTriple) row(name string) string {
+func (a *normTriple) cells(name string) []result.Cell {
 	n := float64(a.n)
 	if a.n == 0 {
 		n = 1
 	}
-	return fmt.Sprintf("%-14s %12.1f%% %10.3f %10.3f\n", name, a.carbonPct/n, a.ect/n, a.jct/n)
+	return []result.Cell{
+		result.Str(name),
+		result.Float(a.carbonPct / n), result.Float(a.ect / n), result.Float(a.jct / n),
+	}
+}
+
+// schedulerTable is the shared Table 2/3 shape: one row per scheduler,
+// three metrics normalized to the named baseline.
+func schedulerTable(baseline string) *result.Table {
+	return &result.Table{
+		Name: "summary",
+		Columns: []result.Column{
+			{Name: "scheduler", Kind: result.KindString, Header: "scheduler", HeaderFormat: "%-14s", Format: "%-14s"},
+			{Name: "co2_reduction_pct", Kind: result.KindFloat, Prec: 1, Header: "CO2 red.", HeaderFormat: " %13s", Format: " %12.1f%%"},
+			{Name: "avg_ect", Kind: result.KindFloat, Prec: 3, Header: "avg ECT", HeaderFormat: " %10s", Format: " %10.3f"},
+			{Name: "avg_jct", Kind: result.KindFloat, Prec: 3, Header: "avg JCT",
+				HeaderFormat: " %10s   (normalized to " + baseline + ")", Format: " %10.3f"},
+		},
+	}
 }
 
 // matrixCell is one (grid, batch size, trial) coordinate of a table's
@@ -137,7 +167,7 @@ func tableSizes(opt Options) (sizes []int, trials int) {
 // grids, batch sizes {25,50,100}, metrics normalized to the
 // Spark/Kubernetes default. Paper: Decima 1.2% / 0.857 / 0.852; CAP
 // 24.7% / 1.126 / 1.996; PCAPS 32.9% / 1.013 / 1.381.
-func table2(opt Options) (*Report, error) {
+func table2(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt)
 	sizes, trials := tableSizes(e.opt)
 	names := []string{"default", "Decima", "CAP", "PCAPS"}
@@ -155,20 +185,20 @@ func table2(opt Options) (*Report, error) {
 			"PCAPS":   mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
 		}
 	})
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %13s %10s %10s   (normalized to default)\n", "scheduler", "CO2 red.", "avg ECT", "avg JCT")
+	t := schedulerTable("default")
 	for _, n := range names {
-		b.WriteString(aggs[n].row(n))
+		t.Rows = append(t.Rows, aggs[n].cells(n))
 	}
-	b.WriteString("paper:        default 0%/1.0/1.0 · Decima 1.2%/0.857/0.852 · CAP 24.7%/1.126/1.996 · PCAPS 32.9%/1.013/1.381\n")
-	return &Report{ID: "table2", Title: "prototype results summary (§6.3)", Body: b.String()}, nil
+	a := result.New().Add(t)
+	a.Textf("paper:        default 0%%/1.0/1.0 · Decima 1.2%%/0.857/0.852 · CAP 24.7%%/1.126/1.996 · PCAPS 32.9%%/1.013/1.381\n")
+	return a, nil
 }
 
 // table3 regenerates Table 3: simulator results, normalized to Spark
 // standalone FIFO. Paper carbon reductions: W.Fair 12.1%, Decima 21.5%,
 // GreenHadoop 8.2%, CAP-FIFO 22.7%, CAP-W.Fair 34.2%, CAP-Decima 31.1%,
 // PCAPS 39.7%.
-func table3(opt Options) (*Report, error) {
+func table3(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt)
 	sizes, trials := tableSizes(e.opt)
 	names := []string{"FIFO", "W.Fair", "Decima", "GreenHadoop", "CAP-FIFO", "CAP-W.Fair", "CAP-Decima", "PCAPS"}
@@ -189,12 +219,12 @@ func table3(opt Options) (*Report, error) {
 			"PCAPS":       mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
 		}
 	})
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %13s %10s %10s   (normalized to FIFO)\n", "scheduler", "CO2 red.", "avg ECT", "avg JCT")
+	t := schedulerTable("FIFO")
 	for _, n := range names {
-		b.WriteString(aggs[n].row(n))
+		t.Rows = append(t.Rows, aggs[n].cells(n))
 	}
-	b.WriteString("paper CO2 red.: W.Fair 12.1% · Decima 21.5% · GreenHadoop 8.2% · CAP-FIFO 22.7% · CAP-W.Fair 34.2% · CAP-Decima 31.1% · PCAPS 39.7%\n")
-	b.WriteString("paper ECT:      0.972 · 0.970 · 1.077 · 1.108 · 1.011(WF) · 1.061(Dec) · 1.045(PCAPS)\n")
-	return &Report{ID: "table3", Title: "simulator results summary (§6.4)", Body: b.String()}, nil
+	a := result.New().Add(t)
+	a.Textf("paper CO2 red.: W.Fair 12.1%% · Decima 21.5%% · GreenHadoop 8.2%% · CAP-FIFO 22.7%% · CAP-W.Fair 34.2%% · CAP-Decima 31.1%% · PCAPS 39.7%%\n")
+	a.Textf("paper ECT:      0.972 · 0.970 · 1.077 · 1.108 · 1.011(WF) · 1.061(Dec) · 1.045(PCAPS)\n")
+	return a, nil
 }

@@ -1,5 +1,7 @@
 package metrics
 
+import "pcaps/internal/result"
+
 // ClusterShare is one member cluster's contribution to a federated run:
 // the jobs it served, the carbon it emitted, the work it completed, and
 // its local makespan and per-job completion times. A dark cluster (no
@@ -35,6 +37,32 @@ type FederationSummary struct {
 	GramsPerExecHour float64
 	// Shares holds the per-cluster breakdown in Add order.
 	Shares []ClusterShare
+}
+
+// FederationColumns is the typed column set of a federation comparison
+// table: one row per routing policy, carbon and completion metrics
+// rendered against a round-robin baseline. The display formats reproduce
+// the pcapsim federation artifact's fixed-width layout.
+func FederationColumns() []result.Column {
+	return []result.Column{
+		{Name: "policy", Kind: result.KindString, Header: "policy", HeaderFormat: "  %-22s", Format: "  %-22s"},
+		{Name: "gco2eq", Kind: result.KindFloat, Prec: 1, Header: "gCO2eq", HeaderFormat: " %12s", Format: " %12.1f"},
+		{Name: "vs_rr_pct", Kind: result.KindFloat, Prec: 1, Header: "vs RR", HeaderFormat: " %9s", Format: " %+8.1f%%"},
+		{Name: "makespan_sec", Kind: result.KindFloat, Header: "makespan", HeaderFormat: " %11s", Format: " %9.0f s"},
+		{Name: "avg_jct_sec", Kind: result.KindFloat, Header: "avg JCT", HeaderFormat: " %10s", Format: " %8.0f s"},
+	}
+}
+
+// Row renders the summary as one FederationColumns table row, with the
+// carbon delta taken against the given baseline summary.
+func (s FederationSummary) Row(policy string, baseline FederationSummary) []result.Cell {
+	return []result.Cell{
+		result.Str(policy),
+		result.Float(s.CarbonGrams),
+		result.Float(PercentChange(s.CarbonGrams, baseline.CarbonGrams)),
+		result.Float(s.Makespan),
+		result.Float(s.AvgJCT),
+	}
 }
 
 // FederationAccountant folds per-cluster outcomes into a federation-wide

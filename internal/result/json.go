@@ -1,0 +1,247 @@
+package result
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// The JSON encoding is the artifact's wire form: /v1/experiments/{id}
+// serves it, `pcapsim -format json` emits it, and CI parses it. Blocks
+// are discriminated by a "type" field; cells travel as raw JSON values
+// typed by their column (so a decoded artifact deep-equals the one
+// encoded). Display hints (formats, prefixes) are carried too, which
+// lets a client re-render the exact fixed-width text locally from the
+// structured payload alone.
+
+type jsonColumn struct {
+	Name         string `json:"name"`
+	Kind         string `json:"kind"`
+	Prec         int    `json:"prec,omitempty"`
+	Header       string `json:"header,omitempty"`
+	HeaderFormat string `json:"header_format,omitempty"`
+	Format       string `json:"format,omitempty"`
+}
+
+type jsonTable struct {
+	Type    string       `json:"type"`
+	Name    string       `json:"name,omitempty"`
+	Columns []jsonColumn `json:"columns"`
+	Rows    [][]any      `json:"rows"`
+}
+
+type jsonPoint struct {
+	X float64   `json:"x"`
+	Y []float64 `json:"y"`
+}
+
+type jsonSeries struct {
+	Type        string      `json:"type"`
+	Name        string      `json:"name,omitempty"`
+	XLabel      string      `json:"x_label,omitempty"`
+	YLabels     []string    `json:"y_labels,omitempty"`
+	Points      []jsonPoint `json:"points"`
+	Prefix      string      `json:"prefix,omitempty"`
+	Suffix      string      `json:"suffix,omitempty"`
+	PointFormat string      `json:"point_format,omitempty"`
+	WithX       bool        `json:"with_x,omitempty"`
+	Every       int         `json:"every,omitempty"`
+}
+
+type jsonText struct {
+	Type string `json:"type"`
+	Body string `json:"body"`
+}
+
+type jsonArtifact struct {
+	ID     string            `json:"id"`
+	Title  string            `json:"title"`
+	Blocks []json.RawMessage `json:"blocks"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *Artifact) MarshalJSON() ([]byte, error) {
+	out := jsonArtifact{ID: a.ID, Title: a.Title}
+	for _, blk := range a.Blocks {
+		var v any
+		switch b := blk.(type) {
+		case *Table:
+			jt := jsonTable{Type: b.blockType(), Name: b.Name}
+			for _, c := range b.Columns {
+				jt.Columns = append(jt.Columns, jsonColumn{
+					Name: c.Name, Kind: c.Kind.String(), Prec: c.Prec,
+					Header: c.Header, HeaderFormat: c.HeaderFormat, Format: c.Format,
+				})
+			}
+			for _, row := range b.Rows {
+				vals := make([]any, len(row))
+				for i, cell := range row {
+					vals[i] = cell.arg()
+				}
+				jt.Rows = append(jt.Rows, vals)
+			}
+			if jt.Rows == nil {
+				jt.Rows = [][]any{}
+			}
+			v = jt
+		case *Series:
+			js := jsonSeries{
+				Type: b.blockType(), Name: b.Name, XLabel: b.XLabel, YLabels: b.YLabels,
+				Prefix: b.Prefix, Suffix: b.Suffix,
+				PointFormat: b.PointFormat, WithX: b.WithX, Every: b.Every,
+			}
+			for _, p := range b.Points {
+				y := p.Y
+				if y == nil {
+					y = []float64{}
+				}
+				js.Points = append(js.Points, jsonPoint{X: p.X, Y: y})
+			}
+			if js.Points == nil {
+				js.Points = []jsonPoint{}
+			}
+			v = js
+		case *Text:
+			v = jsonText{Type: b.blockType(), Body: b.Body}
+		default:
+			return nil, fmt.Errorf("result: cannot encode block type %T", blk)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		out.Blocks = append(out.Blocks, raw)
+	}
+	if out.Blocks == nil {
+		out.Blocks = []json.RawMessage{}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, re-typing cells from their
+// column declarations so the decoded artifact deep-equals the encoded
+// one.
+func (a *Artifact) UnmarshalJSON(data []byte) error {
+	var in jsonArtifact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	a.ID, a.Title, a.Blocks = in.ID, in.Title, nil
+	for i, raw := range in.Blocks {
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			return fmt.Errorf("result: block %d: %w", i, err)
+		}
+		switch head.Type {
+		case "table":
+			var jt jsonTable
+			// Decode through json.Number: a plain Unmarshal would hand
+			// decodeCell float64s, silently rounding integer cells above
+			// 2^53 before the exactness check can see them.
+			dec := json.NewDecoder(bytes.NewReader(raw))
+			dec.UseNumber()
+			if err := dec.Decode(&jt); err != nil {
+				return fmt.Errorf("result: block %d: %w", i, err)
+			}
+			t := &Table{Name: jt.Name}
+			for _, c := range jt.Columns {
+				k, err := kindFromString(c.Kind)
+				if err != nil {
+					return fmt.Errorf("result: block %d, column %q: %w", i, c.Name, err)
+				}
+				t.Columns = append(t.Columns, Column{
+					Name: c.Name, Kind: k, Prec: c.Prec,
+					Header: c.Header, HeaderFormat: c.HeaderFormat, Format: c.Format,
+				})
+			}
+			if err := decodeRows(t, jt.Rows); err != nil {
+				return fmt.Errorf("result: block %d: %w", i, err)
+			}
+			a.Blocks = append(a.Blocks, t)
+		case "series":
+			var js jsonSeries
+			if err := json.Unmarshal(raw, &js); err != nil {
+				return fmt.Errorf("result: block %d: %w", i, err)
+			}
+			s := &Series{
+				Name: js.Name, XLabel: js.XLabel, YLabels: js.YLabels,
+				Prefix: js.Prefix, Suffix: js.Suffix,
+				PointFormat: js.PointFormat, WithX: js.WithX, Every: js.Every,
+			}
+			for _, p := range js.Points {
+				s.Point(p.X, p.Y...)
+			}
+			a.Blocks = append(a.Blocks, s)
+		case "text":
+			var jt jsonText
+			if err := json.Unmarshal(raw, &jt); err != nil {
+				return fmt.Errorf("result: block %d: %w", i, err)
+			}
+			a.Blocks = append(a.Blocks, &Text{Body: jt.Body})
+		default:
+			return fmt.Errorf("result: block %d: unknown type %q", i, head.Type)
+		}
+	}
+	return nil
+}
+
+// decodeRows re-types raw row values against the table's columns. Cells
+// are decoded through json.Number so integer columns keep exact 64-bit
+// values and float columns round-trip bit-identically.
+func decodeRows(t *Table, rows [][]any) error {
+	for ri, row := range rows {
+		cells := make([]Cell, len(row))
+		for ci, v := range row {
+			if ci >= len(t.Columns) {
+				return fmt.Errorf("row %d has %d cells for %d columns", ri, len(row), len(t.Columns))
+			}
+			cell, err := decodeCell(t.Columns[ci].Kind, v)
+			if err != nil {
+				return fmt.Errorf("row %d, column %q: %w", ri, t.Columns[ci].Name, err)
+			}
+			cells[ci] = cell
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return nil
+}
+
+func decodeCell(k Kind, v any) (Cell, error) {
+	switch k {
+	case KindString:
+		s, ok := v.(string)
+		if !ok {
+			return Cell{}, fmt.Errorf("want string, got %T", v)
+		}
+		return Str(s), nil
+	case KindInt:
+		f, ok := v.(float64)
+		if ok && f == float64(int64(f)) {
+			return Cell{Kind: KindInt, I: int64(f)}, nil
+		}
+		if n, ok := v.(json.Number); ok {
+			i, err := strconv.ParseInt(n.String(), 10, 64)
+			if err != nil {
+				return Cell{}, err
+			}
+			return Cell{Kind: KindInt, I: i}, nil
+		}
+		return Cell{}, fmt.Errorf("want integer, got %T(%v)", v, v)
+	case KindFloat:
+		switch n := v.(type) {
+		case float64:
+			return Float(n), nil
+		case json.Number:
+			f, err := n.Float64()
+			if err != nil {
+				return Cell{}, err
+			}
+			return Float(f), nil
+		}
+		return Cell{}, fmt.Errorf("want number, got %T", v)
+	}
+	return Cell{}, fmt.Errorf("unknown kind %v", k)
+}

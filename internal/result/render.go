@@ -1,0 +1,195 @@
+package result
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Renderer turns an artifact into one output format. Implementations
+// must be pure functions of the artifact: rendering never re-runs an
+// experiment, and rendering the same artifact twice yields identical
+// bytes (the property pcapsim's determinism guarantee reduces to).
+type Renderer interface {
+	// Name is the -format flag value selecting this renderer.
+	Name() string
+	// Ext is the file extension -out uses, without the dot.
+	Ext() string
+	// Render serializes the artifact.
+	Render(a *Artifact) ([]byte, error)
+}
+
+// TextRenderer emits the historical fixed-width report: a banner line
+// followed by each block's text form. It is byte-identical to the
+// pre-result printf output (pinned by the experiments golden test).
+type TextRenderer struct{}
+
+// Name implements Renderer.
+func (TextRenderer) Name() string { return "text" }
+
+// Ext implements Renderer.
+func (TextRenderer) Ext() string { return "txt" }
+
+// Render implements Renderer; it never fails.
+func (TextRenderer) Render(a *Artifact) ([]byte, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", a.ID, a.Title)
+	body := a.Body()
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteString("\n")
+	}
+	return []byte(b.String()), nil
+}
+
+// JSONRenderer emits the wire encoding of json.go, indented, one
+// document per artifact (a -exp all stream is a concatenation of
+// documents, which jq and json.Decoder both consume).
+type JSONRenderer struct{}
+
+// Name implements Renderer.
+func (JSONRenderer) Name() string { return "json" }
+
+// Ext implements Renderer.
+func (JSONRenderer) Ext() string { return "json" }
+
+// Render implements Renderer.
+func (JSONRenderer) Render(a *Artifact) ([]byte, error) {
+	out, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CSVRenderer emits the artifact's data blocks as CSV sections: each
+// table or series starts with a single-field "#table <name>" or
+// "#series <name>" marker record, followed by a header record (column
+// names / axis labels) and the data records. Text blocks carry no data
+// and are skipped. Floats use a column's Prec when set, otherwise the
+// shortest round-trip representation.
+type CSVRenderer struct{}
+
+// Name implements Renderer.
+func (CSVRenderer) Name() string { return "csv" }
+
+// Ext implements Renderer.
+func (CSVRenderer) Ext() string { return "csv" }
+
+// Render implements Renderer.
+func (CSVRenderer) Render(a *Artifact) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	for bi, blk := range a.Blocks {
+		switch b := blk.(type) {
+		case *Table:
+			if err := w.Write([]string{"#table " + blockName(b.Name, bi)}); err != nil {
+				return nil, err
+			}
+			header := make([]string, len(b.Columns))
+			for i, c := range b.Columns {
+				header[i] = blockName(c.Name, i)
+			}
+			if err := w.Write(header); err != nil {
+				return nil, err
+			}
+			for _, row := range b.Rows {
+				rec := make([]string, len(row))
+				for i, cell := range row {
+					rec[i] = csvCell(cell, b.Columns[i])
+				}
+				if err := w.Write(rec); err != nil {
+					return nil, err
+				}
+			}
+		case *Series:
+			if err := w.Write([]string{"#series " + blockName(b.Name, bi)}); err != nil {
+				return nil, err
+			}
+			header := []string{blockName(b.XLabel, 0)}
+			if b.XLabel == "" {
+				header[0] = "x"
+			}
+			for i, y := range b.YLabels {
+				if y == "" {
+					y = fmt.Sprintf("y%d", i)
+				}
+				header = append(header, y)
+			}
+			if err := w.Write(header); err != nil {
+				return nil, err
+			}
+			for _, p := range b.Points {
+				rec := []string{formatFloat(p.X, 0)}
+				for _, y := range p.Y {
+					rec = append(rec, formatFloat(y, 0))
+				}
+				if err := w.Write(rec); err != nil {
+					return nil, err
+				}
+			}
+		case *Text:
+			// Presentation-only; no data to export.
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func blockName(name string, i int) string {
+	if name == "" {
+		return fmt.Sprintf("col%d", i)
+	}
+	return name
+}
+
+func csvCell(c Cell, col Column) string {
+	switch c.Kind {
+	case KindInt:
+		return strconv.FormatInt(c.I, 10)
+	case KindFloat:
+		return formatFloat(c.F, col.Prec)
+	default:
+		return c.S
+	}
+}
+
+func formatFloat(f float64, prec int) string {
+	if prec > 0 {
+		return strconv.FormatFloat(f, 'f', prec, 64)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// renderers is the registry -format resolves against.
+var renderers = map[string]Renderer{
+	"text": TextRenderer{},
+	"json": JSONRenderer{},
+	"csv":  CSVRenderer{},
+}
+
+// RendererFor resolves a -format flag value.
+func RendererFor(name string) (Renderer, error) {
+	r, ok := renderers[name]
+	if !ok {
+		return nil, fmt.Errorf("result: unknown format %q (have %s)", name, strings.Join(Formats(), ", "))
+	}
+	return r, nil
+}
+
+// Formats lists the registered renderer names, sorted.
+func Formats() []string {
+	out := make([]string, 0, len(renderers))
+	for n := range renderers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,260 @@
+// Package result is the typed artifact model shared by the experiment
+// runners, the pcapsim CLI, and the carbonapi /v1/experiments service.
+// Instead of printf'ing rows into an opaque string, runners build an
+// Artifact out of structured blocks — Table (typed columns, per-row
+// cells, paper-vs-measured pairs), Series (figure-shaped point data),
+// and Text (free-form notes and ASCII decorations) — and pluggable
+// renderers turn the same artifact into fixed-width text (byte-identical
+// to the historical pcapsim output), JSON (the machine-readable contract
+// served over HTTP and consumed by CI), or CSV. See DESIGN.md §4 for the
+// renderer contract and versioning policy.
+package result
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind types a table cell or column.
+type Kind int
+
+const (
+	// KindString cells carry labels, policy names, and rendered strips.
+	KindString Kind = iota
+	// KindInt cells carry counts and sizes.
+	KindInt
+	// KindFloat cells carry measurements.
+	KindFloat
+)
+
+// String implements fmt.Stringer; the names double as the JSON encoding.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	}
+	return 0, fmt.Errorf("result: unknown cell kind %q", s)
+}
+
+// Cell is one typed table value.
+type Cell struct {
+	Kind Kind
+	S    string
+	I    int64
+	F    float64
+}
+
+// Str builds a string cell.
+func Str(s string) Cell { return Cell{Kind: KindString, S: s} }
+
+// Int builds an integer cell.
+func Int(i int) Cell { return Cell{Kind: KindInt, I: int64(i)} }
+
+// Float builds a float cell.
+func Float(f float64) Cell { return Cell{Kind: KindFloat, F: f} }
+
+// arg returns the cell's value for fmt formatting.
+func (c Cell) arg() any {
+	switch c.Kind {
+	case KindInt:
+		return c.I
+	case KindFloat:
+		return c.F
+	default:
+		return c.S
+	}
+}
+
+// Column describes one typed table column. Name is the machine-readable
+// key JSON and CSV emit; the remaining fields are display hints that let
+// the text renderer reproduce the historical fixed-width output exactly.
+type Column struct {
+	Name string
+	Kind Kind
+	// Prec is the number of decimal places the value is displayed with
+	// (a precision hint for structured renderers); 0 means unspecified,
+	// in which case CSV emits the shortest round-trip representation.
+	Prec int
+	// Header is the column's display heading; HeaderFormat is the fmt
+	// verb that positions it, including any literal separator text (e.g.
+	// " %9s"). An empty HeaderFormat contributes nothing to the header
+	// line — composite paper-vs-measured columns share one heading.
+	Header       string
+	HeaderFormat string
+	// Format is the fmt verb the text renderer applies to each cell,
+	// including any literal separator text (e.g. " %9.0f", "/%.3f").
+	Format string
+}
+
+// Block is one renderable unit of an artifact: *Table, *Series, or *Text.
+type Block interface {
+	// blockType is the JSON discriminator ("table", "series", "text").
+	blockType() string
+	// appendText renders the block's fixed-width text form.
+	appendText(b *strings.Builder)
+}
+
+// Table is a typed row/column block. Rows may be ragged: a row shorter
+// than Columns simply omits its trailing cells (used when an optional
+// measurement, such as a KDE fit, did not materialize).
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]Cell
+}
+
+// Row appends one row and returns the table for chaining.
+func (t *Table) Row(cells ...Cell) *Table {
+	t.Rows = append(t.Rows, cells)
+	return t
+}
+
+func (t *Table) blockType() string { return "table" }
+
+func (t *Table) appendText(b *strings.Builder) {
+	header := false
+	for _, c := range t.Columns {
+		if c.HeaderFormat != "" {
+			header = true
+			fmt.Fprintf(b, c.HeaderFormat, c.Header)
+		}
+	}
+	if header {
+		b.WriteString("\n")
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i >= len(t.Columns) {
+				break
+			}
+			fmt.Fprintf(b, t.Columns[i].Format, cell.arg())
+		}
+		b.WriteString("\n")
+	}
+}
+
+// Point is one series sample: an x coordinate and one y value per
+// YLabels entry.
+type Point struct {
+	X float64
+	Y []float64
+}
+
+// Series is figure-shaped data: labeled points in paper-axis order. The
+// text fields are display hints; a Series with an empty PointFormat is a
+// data-only block that contributes nothing to the text rendering (the
+// figure's numbers travel in JSON/CSV while the text keeps its
+// historical summary form).
+type Series struct {
+	Name    string
+	XLabel  string
+	YLabels []string
+	Points  []Point
+	// Prefix and Suffix are literal text emitted around the points.
+	Prefix, Suffix string
+	// PointFormat is the fmt verb applied per rendered point; WithX
+	// prepends the x coordinate to the format arguments.
+	PointFormat string
+	WithX       bool
+	// Every renders only every n-th point (0 or 1 renders all).
+	Every int
+}
+
+// Point appends one sample and returns the series for chaining.
+func (s *Series) Point(x float64, ys ...float64) *Series {
+	s.Points = append(s.Points, Point{X: x, Y: ys})
+	return s
+}
+
+func (s *Series) blockType() string { return "series" }
+
+func (s *Series) appendText(b *strings.Builder) {
+	b.WriteString(s.Prefix)
+	if s.PointFormat != "" {
+		every := s.Every
+		if every <= 0 {
+			every = 1
+		}
+		for i, p := range s.Points {
+			if i%every != 0 {
+				continue
+			}
+			args := make([]any, 0, 1+len(p.Y))
+			if s.WithX {
+				args = append(args, p.X)
+			}
+			for _, y := range p.Y {
+				args = append(args, y)
+			}
+			fmt.Fprintf(b, s.PointFormat, args...)
+		}
+	}
+	b.WriteString(s.Suffix)
+}
+
+// Text is a literal block: notes, paper comparisons, sparklines, and
+// occupancy strips — presentation the structured blocks do not model.
+type Text struct {
+	Body string
+}
+
+func (t *Text) blockType() string { return "text" }
+
+func (t *Text) appendText(b *strings.Builder) { b.WriteString(t.Body) }
+
+// Artifact is one experiment's typed result: identity plus an ordered
+// block list. Renderers consume it without re-running anything.
+type Artifact struct {
+	ID     string
+	Title  string
+	Blocks []Block
+}
+
+// New returns an empty artifact; runners append blocks and the
+// experiments registry stamps ID and Title.
+func New() *Artifact { return &Artifact{} }
+
+// Add appends a block and returns the artifact for chaining.
+func (a *Artifact) Add(b Block) *Artifact {
+	a.Blocks = append(a.Blocks, b)
+	return a
+}
+
+// Textf appends formatted literal text, merging into a trailing Text
+// block so consecutive notes form one block.
+func (a *Artifact) Textf(format string, args ...any) *Artifact {
+	s := fmt.Sprintf(format, args...)
+	if n := len(a.Blocks); n > 0 {
+		if t, ok := a.Blocks[n-1].(*Text); ok {
+			t.Body += s
+			return a
+		}
+	}
+	return a.Add(&Text{Body: s})
+}
+
+// Body renders the artifact's blocks as fixed-width text, without the
+// "== id: title ==" banner.
+func (a *Artifact) Body() string {
+	var b strings.Builder
+	for _, blk := range a.Blocks {
+		blk.appendText(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package result
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleArtifact() *Artifact {
+	t := &Table{
+		Name: "summary",
+		Columns: []Column{
+			{Name: "scheduler", Kind: KindString, Header: "scheduler", HeaderFormat: "%-14s", Format: "%-14s"},
+			{Name: "co2_reduction_pct", Kind: KindFloat, Prec: 1, Header: "CO2 red.", HeaderFormat: " %13s", Format: " %12.1f%%"},
+			{Name: "trials", Kind: KindInt, Header: "n", HeaderFormat: " %4s", Format: " %4d"},
+		},
+	}
+	t.Row(Str("FIFO"), Float(0), Int(3))
+	t.Row(Str("PCAPS"), Float(39.65), Int(3))
+	s := &Series{
+		Name: "frontier", XLabel: "relative_ect", YLabels: []string{"carbon_reduction_pct"},
+		Prefix: "points:\n", PointFormat: "  (%.3f, %5.1f)", WithX: true, Suffix: "\n",
+	}
+	s.Point(1.006, 23.4).Point(1.024, 48.625)
+	a := New().Add(t).Add(s)
+	a.Textf("paper: PCAPS 39.7%%\n")
+	a.ID, a.Title = "sample", "round-trip sample"
+	return a
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := sampleArtifact()
+	enc, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, &back) {
+		t.Fatalf("round trip diverged:\n in: %#v\nout: %#v", a, &back)
+	}
+	// Re-encoding the decoded artifact must reproduce the wire bytes.
+	enc2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatalf("re-encoded bytes differ:\n%s\n%s", enc, enc2)
+	}
+	// The display hints travel with the payload, so a decoded artifact
+	// re-renders the identical text.
+	if a.Body() != back.Body() {
+		t.Fatalf("decoded body differs:\n%q\n%q", a.Body(), back.Body())
+	}
+}
+
+func TestTextRenderer(t *testing.T) {
+	out, err := TextRenderer{}.Render(sampleArtifact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	want := "== sample: round-trip sample ==\n" +
+		"scheduler           CO2 red.    n\n" +
+		"FIFO                    0.0%    3\n" +
+		"PCAPS                  39.6%    3\n" +
+		"points:\n" +
+		"  (1.006,  23.4)  (1.024,  48.6)\n" +
+		"paper: PCAPS 39.7%\n"
+	if got != want {
+		t.Fatalf("text rendering:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCSVRenderer(t *testing.T) {
+	out, err := CSVRenderer{}.Render(sampleArtifact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out)
+	for _, needle := range []string{
+		"#table summary\n",
+		"scheduler,co2_reduction_pct,trials\n",
+		"PCAPS,39.6,3\n", // Prec 1 rounds the display hint into the CSV
+		"#series frontier\n",
+		"relative_ect,carbon_reduction_pct\n",
+		"1.024,48.625\n", // series values keep full precision
+	} {
+		if !strings.Contains(got, needle) {
+			t.Fatalf("CSV missing %q:\n%s", needle, got)
+		}
+	}
+	if strings.Contains(got, "paper:") {
+		t.Fatalf("CSV leaked a text block:\n%s", got)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := &Table{Columns: []Column{
+		{Name: "name", Kind: KindString, Format: "%-6s"},
+		{Name: "kde", Kind: KindFloat, Format: " kde=%.2f"},
+	}}
+	tb.Row(Str("full"), Float(1.5))
+	tb.Row(Str("bare")) // optional measurement absent
+	a := New().Add(tb)
+	a.ID, a.Title = "ragged", "ragged rows"
+	if got := a.Body(); got != "full   kde=1.50\nbare  \n" {
+		t.Fatalf("ragged body %q", got)
+	}
+	enc, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, &back) {
+		t.Fatalf("ragged round trip diverged")
+	}
+}
+
+// TestJSONRoundTripLargeInt pins the exact-64-bit contract: integer
+// cells above 2^53 (where float64 rounds) must survive encode→decode
+// bit-for-bit.
+func TestJSONRoundTripLargeInt(t *testing.T) {
+	const big = int64(9007199254740993) // 2^53 + 1
+	tb := &Table{Columns: []Column{{Name: "n", Kind: KindInt, Format: "%d"}}}
+	tb.Rows = append(tb.Rows, []Cell{{Kind: KindInt, I: big}})
+	a := New().Add(tb)
+	a.ID, a.Title = "big", "large int"
+	enc, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Artifact
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Blocks[0].(*Table).Rows[0][0].I
+	if got != big {
+		t.Fatalf("large int decoded to %d, want %d", got, big)
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"unknown block type": `{"id":"x","title":"t","blocks":[{"type":"chart"}]}`,
+		"unknown cell kind":  `{"id":"x","title":"t","blocks":[{"type":"table","columns":[{"name":"a","kind":"bool"}],"rows":[]}]}`,
+		"cell/column excess": `{"id":"x","title":"t","blocks":[{"type":"table","columns":[{"name":"a","kind":"int"}],"rows":[[1,2]]}]}`,
+		"non-integer int":    `{"id":"x","title":"t","blocks":[{"type":"table","columns":[{"name":"a","kind":"int"}],"rows":[[1.5]]}]}`,
+		"string as float":    `{"id":"x","title":"t","blocks":[{"type":"table","columns":[{"name":"a","kind":"float"}],"rows":[["no"]]}]}`,
+	}
+	for name, raw := range cases {
+		var a Artifact
+		if err := json.Unmarshal([]byte(raw), &a); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRendererRegistry(t *testing.T) {
+	if got := Formats(); !reflect.DeepEqual(got, []string{"csv", "json", "text"}) {
+		t.Fatalf("Formats = %v", got)
+	}
+	for _, name := range Formats() {
+		r, err := RendererFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name() != name || r.Ext() == "" {
+			t.Fatalf("renderer %q: Name=%q Ext=%q", name, r.Name(), r.Ext())
+		}
+	}
+	if _, err := RendererFor("xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
