@@ -7,11 +7,15 @@
 //	carbonapi -addr :8585 -hours 2000 -seed 7
 //	carbonapi -addr :8585 -csv DE=de.csv   # replay a real trace
 //	carbonapi -addr :8585 -experiments=false  # trace endpoints only
+//	carbonapi -addr :8585 -scenarios=false    # no user scenario runs
 //
 // Endpoints: /v1/grids, /v1/intensity, /v1/forecast, /v1/trace (all four
 // also reachable unprefixed for legacy pollers), plus /v1/experiments
 // and /v1/experiments/{id} — the artifact registry with on-demand fast
-// runs returning structured JSON (internal/result encoding).
+// runs returning structured JSON (internal/result encoding) — and
+// POST /v1/scenarios, which validates a user-supplied declarative
+// scenario spec (internal/scenario, JSON or YAML), runs it in fast
+// mode, and returns the structured artifact.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"pcaps/internal/carbon"
 	"pcaps/internal/carbonapi"
 	"pcaps/internal/experiments"
+	"pcaps/internal/scenario"
 )
 
 func main() {
@@ -34,6 +39,8 @@ func main() {
 		seed  = flag.Int64("seed", 42, "synthetic trace seed")
 		csvs  = flag.String("csv", "", "comma-separated GRID=FILE pairs of real traces to replay instead")
 		exps  = flag.Bool("experiments", true, "serve /v1/experiments (on-demand fast artifact runs)")
+		scens = flag.Bool("scenarios", true, "serve POST /v1/scenarios (on-demand fast user scenario runs)")
+		ext   = flag.Bool("scenario-external-sources", false, "allow csv/carbonapi carbon sources in POSTed scenarios (reads server files / dials out)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,13 @@ func main() {
 			Options: experiments.Options{Seed: *seed},
 		}))
 		fmt.Printf("serving %d experiment artifacts under /v1/experiments\n", len(experiments.IDs()))
+	}
+	if *scens {
+		opts = append(opts, carbonapi.WithScenarios(&scenario.Service{
+			Pool:                 scenario.NewPool(0),
+			AllowExternalSources: *ext,
+		}))
+		fmt.Printf("serving user scenarios under POST /v1/scenarios\n")
 	}
 	fmt.Printf("serving carbon-intensity API on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, carbonapi.NewServer(traces, opts...)))

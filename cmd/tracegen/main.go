@@ -5,78 +5,233 @@
 //
 //	tracegen -grid DE -hours 2000 > de.csv
 //	tracegen -workload tpch -n 50 > jobs.csv
-//	tracegen -workload alibaba -n 50 -seed 7 > jobs.csv
+//	tracegen -workload alibaba -n 50 -seed 7 -header > jobs.csv
+//	tracegen -scenario spec.json -out inputs/   # every resolved input
 //
 // Workload CSV columns: job, name, arrival_sec, stages, total_work_sec,
 // critical_path_sec.
+//
+// -header prepends a '# generated=tracegen ...' provenance comment
+// recording the generator parameters (seed, mix, sizes), so a CSV found
+// on disk months later still says how to regenerate it; carbon.ReadCSV
+// skips '#' comment lines, and the round-trip is pinned by this
+// command's tests.
+//
+// -scenario resolves a declarative spec (internal/scenario) and writes
+// one <cluster>.trace.csv per cluster plus workload.csv — the
+// scenario's full resolved inputs for offline replay — into the -out
+// directory.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/dag"
+	"pcaps/internal/scenario"
 	"pcaps/internal/workload"
 )
 
 func main() {
 	var (
-		grid  = flag.String("grid", "", "emit a carbon trace for this grid (PJM, CAISO, ON, DE, NSW, ZA)")
-		hours = flag.Int("hours", carbon.PaperHours, "trace length in hours")
-		wl    = flag.String("workload", "", "emit a workload batch: tpch, alibaba, or both")
-		n     = flag.Int("n", 50, "number of jobs")
-		inter = flag.Float64("interarrival", 30, "mean Poisson interarrival in seconds")
-		seed  = flag.Int64("seed", 42, "random seed")
+		grid     = flag.String("grid", "", "emit a carbon trace for this grid (PJM, CAISO, ON, DE, NSW, ZA)")
+		hours    = flag.Int("hours", carbon.PaperHours, "trace length in hours")
+		wl       = flag.String("workload", "", "emit a workload batch: tpch, alibaba, or both")
+		n        = flag.Int("n", 50, "number of jobs")
+		inter    = flag.Float64("interarrival", 30, "mean Poisson interarrival in seconds")
+		seed     = flag.Int64("seed", 42, "random seed")
+		header   = flag.Bool("header", false, "prepend a '# generated=tracegen ...' provenance comment")
+		scenFile = flag.String("scenario", "", "resolve a scenario spec file and emit its trace/workload CSVs")
+		outDir   = flag.String("out", "", "directory for -scenario output (default: current directory)")
 	)
 	flag.Parse()
 
 	switch {
+	case *scenFile != "":
+		if err := emitScenario(*scenFile, *outDir, *header); err != nil {
+			log.Fatalf("tracegen: %v", err)
+		}
 	case *grid != "":
 		spec, err := carbon.GridByName(*grid)
 		if err != nil {
 			log.Fatalf("tracegen: %v", err)
 		}
 		tr := carbon.Synthesize(spec, *hours, 60, *seed)
-		if err := tr.WriteCSV(os.Stdout); err != nil {
+		if err := writeTrace(os.Stdout, tr, traceProvenance(*grid, *hours, *seed, *header)); err != nil {
 			log.Fatalf("tracegen: %v", err)
 		}
 	case *wl != "":
-		var mix workload.Mix
-		switch *wl {
-		case "tpch":
-			mix = workload.MixTPCH
-		case "alibaba":
-			mix = workload.MixAlibaba
-		case "both":
-			mix = workload.MixBoth
-		default:
-			log.Fatalf("tracegen: unknown workload %q", *wl)
+		mix, err := mixFor(*wl)
+		if err != nil {
+			log.Fatalf("tracegen: %v", err)
 		}
-		jobs := workload.Batch(workload.BatchConfig{N: *n, MeanInterarrival: *inter, Mix: mix, Seed: *seed})
-		w := csv.NewWriter(os.Stdout)
-		record := func(ss ...string) {
-			if err := w.Write(ss); err != nil {
-				log.Fatalf("tracegen: %v", err)
-			}
-		}
-		record("job", "name", "arrival_sec", "stages", "total_work_sec", "critical_path_sec")
-		for _, j := range jobs {
-			record(strconv.Itoa(j.ID), j.Name,
-				fmt.Sprintf("%.2f", j.Arrival),
-				strconv.Itoa(len(j.Stages)),
-				fmt.Sprintf("%.2f", j.TotalWork()),
-				fmt.Sprintf("%.2f", j.CriticalPathLength()))
-		}
-		w.Flush()
-		if err := w.Error(); err != nil {
+		cfg := workload.BatchConfig{N: *n, MeanInterarrival: *inter, Mix: mix, Seed: *seed}
+		if err := writeWorkload(os.Stdout, cfg, *header); err != nil {
 			log.Fatalf("tracegen: %v", err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tracegen: pass -grid NAME or -workload KIND")
+		fmt.Fprintln(os.Stderr, "tracegen: pass -grid NAME, -workload KIND, or -scenario FILE")
 		os.Exit(2)
 	}
+}
+
+func mixFor(name string) (workload.Mix, error) {
+	switch name {
+	case "tpch":
+		return workload.MixTPCH, nil
+	case "alibaba":
+		return workload.MixAlibaba, nil
+	case "both":
+		return workload.MixBoth, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", name)
+}
+
+// traceProvenance builds the '# generated=...' comment for a trace CSV,
+// or "" when headers are off.
+func traceProvenance(grid string, hours int, seed int64, on bool) string {
+	if !on {
+		return ""
+	}
+	return fmt.Sprintf("# generated=tracegen grid=%s hours=%d seed=%d", grid, hours, seed)
+}
+
+// workloadProvenance builds the provenance comment for a workload CSV.
+func workloadProvenance(cfg workload.BatchConfig) string {
+	return fmt.Sprintf("# generated=tracegen seed=%d mix=%s n=%d interarrival=%g",
+		cfg.Seed, cfg.Mix, cfg.N, cfg.MeanInterarrival)
+}
+
+// writeTrace serializes one trace, optionally preceded by a provenance
+// comment line (carbon.ReadCSV skips '#' lines, so the file round-trips
+// either way).
+func writeTrace(w io.Writer, tr *carbon.Trace, provenance string) error {
+	if provenance != "" {
+		if _, err := fmt.Fprintln(w, provenance); err != nil {
+			return err
+		}
+	}
+	return tr.WriteCSV(w)
+}
+
+// writeWorkload generates the batch and serializes its summary rows.
+func writeWorkload(w io.Writer, cfg workload.BatchConfig, header bool) error {
+	if header {
+		if _, err := fmt.Fprintln(w, workloadProvenance(cfg)); err != nil {
+			return err
+		}
+	}
+	jobs := workload.Batch(cfg)
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"job", "name", "arrival_sec", "stages", "total_work_sec", "critical_path_sec"}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if err := cw.Write(workloadRecord(j)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func workloadRecord(j *dag.Job) []string {
+	return []string{
+		strconv.Itoa(j.ID), j.Name,
+		fmt.Sprintf("%.2f", j.Arrival),
+		strconv.Itoa(len(j.Stages)),
+		fmt.Sprintf("%.2f", j.TotalWork()),
+		fmt.Sprintf("%.2f", j.CriticalPathLength()),
+	}
+}
+
+// emitScenario resolves a spec's inputs and writes one trace CSV per
+// cluster plus the template workload CSV into dir.
+func emitScenario(path, dir string, header bool) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	prog, err := scenario.Compile(*spec)
+	if err != nil {
+		return err
+	}
+	in, err := prog.Inputs(scenario.Env{})
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Provenance must reflect each cluster's actual source: synthesis
+	// parameters only regenerate synthesized traces, so csv/carbonapi
+	// clusters record where the samples came from instead.
+	sources := map[string]scenario.ClusterSpec{}
+	for _, c := range spec.Clusters {
+		name := c.Name
+		if name == "" {
+			name = c.Grid
+		}
+		sources[name] = c
+	}
+	for _, c := range in.Clusters {
+		file := filepath.Join(dir, c.Name+".trace.csv")
+		f, err := os.Create(file)
+		if err != nil {
+			return err
+		}
+		prov := ""
+		if header {
+			base := fmt.Sprintf("# generated=tracegen scenario=%s cluster=%s grid=%s", spec.Name, c.Name, c.Grid)
+			switch src := sources[c.Name]; src.Source {
+			case "csv":
+				prov = fmt.Sprintf("%s source=csv file=%s", base, src.CSV)
+			case "carbonapi":
+				prov = fmt.Sprintf("%s source=carbonapi url=%s hours=%d", base, src.URL, in.Hours)
+			default:
+				// SynthSeed, not the run seed: synthesis offsets the run
+				// seed per grid, and the header's purpose is that
+				// `tracegen -grid G -hours H -seed S` regenerates these
+				// exact bytes.
+				prov = fmt.Sprintf("%s hours=%d seed=%d", base, in.Hours, c.SynthSeed)
+			}
+		}
+		werr := writeTrace(f, c.Trace, prov)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("%s: %w", file, werr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d samples)\n", file, len(c.Trace.Values))
+	}
+	mix, err := mixFor(in.Mix)
+	if err != nil {
+		return err
+	}
+	cfg := workload.BatchConfig{N: in.JobsN, MeanInterarrival: in.InterarrivalSec, Mix: mix, Seed: in.Seed}
+	file := filepath.Join(dir, "workload.csv")
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	werr := writeWorkload(f, cfg, header)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("%s: %w", file, werr)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d jobs)\n", file, in.JobsN)
+	return nil
 }

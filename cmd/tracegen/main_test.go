@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/workload"
+)
+
+// TestTraceRoundTrip: a tracegen trace CSV — with and without the
+// provenance header — loads back through carbon.ReadCSV sample-exact.
+func TestTraceRoundTrip(t *testing.T) {
+	spec, err := carbon.GridByName("CAISO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := carbon.Synthesize(spec, 300, 60, 7)
+	for _, header := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := writeTrace(&buf, tr, traceProvenance("CAISO", 300, 7, header)); err != nil {
+			t.Fatal(err)
+		}
+		if header && !strings.HasPrefix(buf.String(), "# generated=tracegen grid=CAISO hours=300 seed=7\n") {
+			t.Fatalf("missing provenance header:\n%s", buf.String()[:80])
+		}
+		back, err := carbon.ReadCSV(bytes.NewReader(buf.Bytes()), "CAISO", 60)
+		if err != nil {
+			t.Fatalf("header=%v: %v", header, err)
+		}
+		if !reflect.DeepEqual(back.Values, tr.Values) {
+			t.Fatalf("header=%v: round-trip changed the samples", header)
+		}
+	}
+}
+
+// TestWorkloadRoundTrip: the provenance comment records everything
+// needed to regenerate the batch — parse it back, rebuild, and the
+// rows must be equal.
+func TestWorkloadRoundTrip(t *testing.T) {
+	cfg := workload.BatchConfig{N: 20, MeanInterarrival: 25, Mix: workload.MixBoth, Seed: 99}
+	var buf bytes.Buffer
+	if err := writeWorkload(&buf, cfg, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(buf.String(), "\n", 2)
+	if !strings.HasPrefix(lines[0], "# generated=tracegen ") {
+		t.Fatalf("missing provenance: %q", lines[0])
+	}
+
+	// Recover the generator parameters from the header alone.
+	params := map[string]string{}
+	for _, kv := range strings.Fields(strings.TrimPrefix(lines[0], "# ")) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			t.Fatalf("malformed provenance field %q", kv)
+		}
+		params[k] = v
+	}
+	seed, err := strconv.ParseInt(params["seed"], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := strconv.Atoi(params["n"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := strconv.ParseFloat(params["interarrival"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := mixFor(params["mix"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	regen := workload.BatchConfig{N: n, MeanInterarrival: inter, Mix: mix, Seed: seed}
+	if regen != cfg {
+		t.Fatalf("recovered config %+v != %+v", regen, cfg)
+	}
+
+	// The regenerated batch reproduces the recorded rows exactly.
+	rows, err := csv.NewReader(strings.NewReader(lines[1])).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != cfg.N+1 { // header + jobs
+		t.Fatalf("%d rows for %d jobs", len(rows), cfg.N)
+	}
+	for i, j := range workload.Batch(regen) {
+		if got := rows[i+1]; !reflect.DeepEqual(got, workloadRecord(j)) {
+			t.Fatalf("row %d: %v != %v", i, got, workloadRecord(j))
+		}
+	}
+}
+
+// TestWorkloadNoHeaderByDefault: the provenance line is opt-in, so
+// existing consumers of the bare CSV shape see no change.
+func TestWorkloadNoHeaderByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeWorkload(&buf, workload.BatchConfig{N: 2, Mix: workload.MixTPCH, Seed: 1}, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "job,name,arrival_sec") {
+		t.Fatalf("unexpected leading bytes: %q", buf.String()[:40])
+	}
+}
+
+// TestEmitScenario: the -scenario path writes one trace CSV per
+// resolved cluster plus the workload CSV, all loadable.
+func TestEmitScenario(t *testing.T) {
+	dir := t.TempDir()
+	specFile := dir + "/spec.json"
+	spec := `{
+		"name": "emit",
+		"seed": 3,
+		"hours": 200,
+		"grids": ["DE", "ON"],
+		"workload": {"mix": "tpch", "jobs": 5},
+		"baseline": {"kind": "fifo"},
+		"policies": [{"kind": "cap"}]
+	}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitScenario(specFile, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, grid := range []string{"DE", "ON"} {
+		f, err := os.Open(dir + "/" + grid + ".trace.csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := carbon.ReadCSV(f, grid, 60)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Values) != 200 {
+			t.Fatalf("%s: %d samples, want 200", grid, len(tr.Values))
+		}
+	}
+	data, err := os.ReadFile(dir + "/workload.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "# generated=tracegen seed=3 mix=tpch n=5") {
+		t.Fatalf("workload provenance missing:\n%s", data[:120])
+	}
+}

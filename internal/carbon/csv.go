@@ -26,11 +26,13 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 }
 
 // ReadCSV parses a trace written by WriteCSV (or any CSV whose last column
-// is an hourly intensity; extra leading columns and a header row are
-// tolerated so real exports load unchanged).
+// is an hourly intensity; extra leading columns, a header row, and '#'
+// comment lines — tracegen's provenance headers — are tolerated so real
+// exports load unchanged).
 func ReadCSV(r io.Reader, grid string, interval float64) (*Trace, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
 	var vals []float64
 	row := 0
 	for {

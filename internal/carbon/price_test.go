@@ -1,0 +1,76 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCostLinearity pins the property the scenario layer's cost columns
+// rely on: Cost is a positive linear map from grams to dollars, so cost
+// of the mean equals mean of the costs, rankings match the grams, and
+// every threshold decision is identical whether it consumes intensities
+// or prices (the §1 argument).
+func TestCostLinearity(t *testing.T) {
+	p := Pricing{USDPerTonne: 50}
+	// One metric ton costs exactly the configured price.
+	if got := p.Cost(1e6); got != 50 {
+		t.Fatalf("Cost(1t) = %v, want 50", got)
+	}
+	// Additivity and homogeneity.
+	for _, pair := range [][2]float64{{0, 0}, {100, 250}, {1e3, 1e6}, {7.5, 0.1}} {
+		a, b := pair[0], pair[1]
+		if got, want := p.Cost(a+b), p.Cost(a)+p.Cost(b); math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("Cost(%v+%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := p.Cost(3*a), 3*p.Cost(a); math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("Cost(3·%v) = %v, want %v", a, got, want)
+		}
+	}
+	// Linear in the price too: doubling the price doubles every charge.
+	double := Pricing{USDPerTonne: 100}
+	if got, want := double.Cost(12345), 2*p.Cost(12345); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("price scaling broken: %v vs %v", got, want)
+	}
+	// Zero price: carbon is free, costs vanish.
+	if got := (Pricing{}).Cost(1e9); got != 0 {
+		t.Fatalf("zero price charged %v", got)
+	}
+}
+
+// TestPriceTraceLinearity: PriceTrace maps each intensity sample through
+// MarginalRate — a pointwise positive linear scaling that preserves the
+// temporal ordering (which hours are cheap vs expensive), keeps the
+// interval, and tags the grid.
+func TestPriceTraceLinearity(t *testing.T) {
+	tr, err := New("DE", 60, []float64{400, 100, 700, 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pricing{USDPerTonne: 80}
+	pt := p.PriceTrace(tr)
+	if pt.Grid != "DE-usd" || pt.Interval != tr.Interval || len(pt.Values) != len(tr.Values) {
+		t.Fatalf("price trace shape: %+v", pt)
+	}
+	for i, v := range tr.Values {
+		want := p.Cost(v)
+		if pt.Values[i] != want || pt.Values[i] != p.MarginalRate(v) {
+			t.Fatalf("sample %d: %v, want Cost(%v) = %v", i, pt.Values[i], v, want)
+		}
+	}
+	// Ordering preserved: argmin/argmax are the same hours.
+	argminEq := func(a, b []float64) bool {
+		ai, bi := 0, 0
+		for i := range a {
+			if a[i] < a[ai] {
+				ai = i
+			}
+			if b[i] < b[bi] {
+				bi = i
+			}
+		}
+		return ai == bi
+	}
+	if !argminEq(tr.Values, pt.Values) {
+		t.Fatal("price trace reordered the cheap hours")
+	}
+}

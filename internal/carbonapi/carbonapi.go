@@ -10,6 +10,7 @@
 //	GET /v1/trace?grid=DE&from=0&n=48     → a window of raw samples
 //	GET /v1/experiments                   → {"experiments": [{id, title}, ...]}
 //	GET /v1/experiments/{id}              → run the artifact, structured JSON out
+//	POST /v1/scenarios                    → validate + run a scenario spec (fast mode)
 //
 // The /v1/ prefix is the versioned surface: new endpoints appear only
 // under it, and breaking changes would land under a /v2/ prefix instead
@@ -29,7 +30,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -56,11 +59,30 @@ type Experiments interface {
 	Run(ctx context.Context, id string) (*result.Artifact, error)
 }
 
+// ErrInvalidScenario marks a scenario request the backend rejected
+// before running anything (parse or validation failure); the handler
+// answers 400 instead of 500 when a returned error wraps it.
+var ErrInvalidScenario = errors.New("invalid scenario")
+
+// Scenarios is the backend of POST /v1/scenarios: it parses, validates,
+// and executes one user-supplied scenario spec (the declarative layer
+// of internal/scenario — this package cannot import it, because the
+// scenario compiler's carbonapi carbon source depends on this package's
+// client; the indirection mirrors Experiments). Implementations must be
+// safe for concurrent Run calls.
+type Scenarios interface {
+	// Run compiles and executes the raw spec document (JSON or the YAML
+	// subset) and returns its artifact. Rejections wrap
+	// ErrInvalidScenario.
+	Run(ctx context.Context, spec []byte) (*result.Artifact, error)
+}
+
 // Server replays one or more traces over HTTP. The zero value is not
 // usable; construct with NewServer.
 type Server struct {
 	traces      map[string]*carbon.Trace
 	experiments Experiments
+	scenarios   Scenarios
 	mux         *http.ServeMux
 }
 
@@ -73,6 +95,12 @@ func WithExperiments(e Experiments) Option {
 	return func(s *Server) { s.experiments = e }
 }
 
+// WithScenarios enables POST /v1/scenarios, backed by r (typically
+// scenario.Service).
+func WithScenarios(r Scenarios) Option {
+	return func(s *Server) { s.scenarios = r }
+}
+
 // NewServer builds a server replaying the given traces, keyed by grid
 // name.
 func NewServer(traces map[string]*carbon.Trace, opts ...Option) *Server {
@@ -81,7 +109,8 @@ func NewServer(traces map[string]*carbon.Trace, opts ...Option) *Server {
 		opt(s)
 	}
 	// The four trace endpoints answer both versioned and (legacy)
-	// unprefixed paths; the experiments service is /v1/-only.
+	// unprefixed paths; the experiments and scenario services are
+	// /v1/-only.
 	for _, prefix := range []string{"/v1", ""} {
 		s.mux.HandleFunc(prefix+"/grids", s.handleGrids)
 		s.mux.HandleFunc(prefix+"/intensity", s.handleIntensity)
@@ -90,6 +119,7 @@ func NewServer(traces map[string]*carbon.Trace, opts ...Option) *Server {
 	}
 	s.mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("/v1/experiments/{id}", s.handleExperimentRun)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioRun)
 	return s
 }
 
@@ -207,6 +237,37 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		log.Printf("carbonapi: running experiment %q: %v", id, err)
 		http.Error(w, fmt.Sprintf("running %q: %v", id, err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, art)
+}
+
+// maxScenarioBytes bounds one POSTed spec document; real specs are a
+// few kilobytes, so anything near the cap is a mistake or abuse.
+const maxScenarioBytes = 1 << 20
+
+func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
+	if s.scenarios == nil {
+		http.Error(w, "scenario service not enabled", http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBytes+1))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("reading spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxScenarioBytes {
+		http.Error(w, fmt.Sprintf("spec exceeds %d bytes", maxScenarioBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	art, err := s.scenarios.Run(r.Context(), body)
+	if err != nil {
+		if errors.Is(err, ErrInvalidScenario) {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		log.Printf("carbonapi: running scenario: %v", err)
+		http.Error(w, fmt.Sprintf("running scenario: %v", err), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, art)

@@ -1,6 +1,7 @@
 package carbonapi
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -95,6 +96,47 @@ func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
 func (c *Client) Experiment(ctx context.Context, id string) (*result.Artifact, error) {
 	var art result.Artifact
 	if err := c.get(ctx, "/v1/experiments/"+url.PathEscape(id), url.Values{}, &art); err != nil {
+		return nil, err
+	}
+	return &art, nil
+}
+
+// RunScenario POSTs a raw scenario spec document (JSON or the YAML
+// subset) to /v1/scenarios and decodes the resulting artifact. The
+// server validates the spec (400 on rejection) and runs it in fast
+// mode.
+func (c *Client) RunScenario(ctx context.Context, spec []byte) (*result.Artifact, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/scenarios", bytes.NewReader(spec))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// The endpoint synchronously runs a whole (fast-mode) scenario; the
+	// 5-second poll timeout the trace endpoints (and NewClient) default
+	// to would abandon legitimate runs mid-simulation while the server
+	// keeps computing. Raise a too-short timeout on a shallow copy —
+	// transport and cookies are preserved, a caller's *longer* timeout
+	// wins, and a caller needing a shorter bound passes a context
+	// deadline.
+	hc := &http.Client{Timeout: 120 * time.Second}
+	if c.HTTPClient != nil {
+		cp := *c.HTTPClient
+		if cp.Timeout > 0 && cp.Timeout < 120*time.Second {
+			cp.Timeout = 120 * time.Second
+		}
+		hc = &cp
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("carbonapi: /v1/scenarios: %s: %s", resp.Status, body)
+	}
+	var art result.Artifact
+	if err := json.NewDecoder(resp.Body).Decode(&art); err != nil {
 		return nil, err
 	}
 	return &art, nil

@@ -1,0 +1,130 @@
+package carbonapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/result"
+)
+
+// stubScenarios is an injectable Scenarios backend (the real one,
+// scenario.Service, cannot be imported here — it depends on this
+// package's client; its integration tests live in internal/scenario).
+type stubScenarios struct {
+	run func(ctx context.Context, spec []byte) (*result.Artifact, error)
+}
+
+func (s stubScenarios) Run(ctx context.Context, spec []byte) (*result.Artifact, error) {
+	return s.run(ctx, spec)
+}
+
+func scenarioServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(map[string]*carbon.Trace{}, opts...))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postScenario(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestScenariosDisabled(t *testing.T) {
+	srv := scenarioServer(t)
+	if resp := postScenario(t, srv.URL, `{}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 when no backend is wired", resp.StatusCode)
+	}
+}
+
+func TestScenariosMethodNotAllowed(t *testing.T) {
+	srv := scenarioServer(t, WithScenarios(stubScenarios{
+		run: func(context.Context, []byte) (*result.Artifact, error) { return &result.Artifact{}, nil },
+	}))
+	resp, err := http.Get(srv.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestScenariosRunSuccess(t *testing.T) {
+	art := &result.Artifact{ID: "user-spec", Title: "t"}
+	var got []byte
+	srv := scenarioServer(t, WithScenarios(stubScenarios{
+		run: func(_ context.Context, spec []byte) (*result.Artifact, error) {
+			got = append([]byte(nil), spec...)
+			return art, nil
+		},
+	}))
+	resp := postScenario(t, srv.URL, `{"name": "user-spec"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var decoded result.Artifact
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "user-spec" {
+		t.Fatalf("artifact ID = %q", decoded.ID)
+	}
+	if string(got) != `{"name": "user-spec"}` {
+		t.Fatalf("backend saw %q", got)
+	}
+}
+
+func TestScenariosInvalidIs400(t *testing.T) {
+	srv := scenarioServer(t, WithScenarios(stubScenarios{
+		run: func(context.Context, []byte) (*result.Artifact, error) {
+			return nil, fmt.Errorf("%w: scenario: workload.mix: empty workload", ErrInvalidScenario)
+		},
+	}))
+	resp := postScenario(t, srv.URL, `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "workload.mix") {
+		t.Fatalf("400 body missing field name: %s", body)
+	}
+}
+
+func TestScenariosRunFailureIs500(t *testing.T) {
+	srv := scenarioServer(t, WithScenarios(stubScenarios{
+		run: func(context.Context, []byte) (*result.Artifact, error) {
+			return nil, errors.New("cluster exploded")
+		},
+	}))
+	if resp := postScenario(t, srv.URL, `{}`); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestScenariosOversizedSpecRejected(t *testing.T) {
+	srv := scenarioServer(t, WithScenarios(stubScenarios{
+		run: func(context.Context, []byte) (*result.Artifact, error) {
+			t.Fatal("oversized spec reached the backend")
+			return nil, nil
+		},
+	}))
+	big := strings.Repeat("x", maxScenarioBytes+1)
+	if resp := postScenario(t, srv.URL, big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"pcaps/internal/cluster"
 	"pcaps/internal/dag"
 	"pcaps/internal/result"
+	"pcaps/internal/scenario"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
 )
@@ -69,6 +70,20 @@ func (o Options) scoped(grids ...string) Options {
 // grid twice through some runners' cell matrices (inflating its weight
 // in every cross-grid average).
 func (o Options) validate() error {
+	// Negative knobs were never meaningful (zero already selects the
+	// defaults) and the scenario layer rejects them; failing here keeps
+	// every artifact — spec-compiled or bespoke — behaving identically
+	// under e.g. `-exp all -seed -5`.
+	switch {
+	case o.Seed < 0:
+		return fmt.Errorf("experiments: negative seed %d", o.Seed)
+	case o.Trials < 0:
+		return fmt.Errorf("experiments: negative trial count %d", o.Trials)
+	case o.Jobs < 0:
+		return fmt.Errorf("experiments: negative batch size %d", o.Jobs)
+	case o.Hours < 0:
+		return fmt.Errorf("experiments: negative trace horizon %d hours", o.Hours)
+	}
 	known := map[string]bool{}
 	var names []string
 	for _, spec := range carbon.Grids() {
@@ -356,4 +371,27 @@ func mustRun(cfg sim.Config, jobs []*dag.Job, s sim.Scheduler) *sim.Result {
 		panic(fmt.Sprintf("experiments: %s: %v", s.Name(), err))
 	}
 	return res
+}
+
+// scenarioPool adapts the experiment engine's shared-budget worker pool
+// to the scenario layer's Pool interface, so a built-in artifact
+// declared as a scenario spec draws its cell workers from the same
+// process-wide budget as every other runner.
+type scenarioPool struct{ p *pool }
+
+// ForEach implements scenario.Pool.
+func (a scenarioPool) ForEach(n int, fn func(i int)) { forEach(a.p, n, fn) }
+
+// runSpec compiles and executes a scenario spec under the run's
+// options. The sweeps, per-grid, and federation runner families declare
+// their experiments as specs and execute through this one path — the
+// same compile-and-run pipeline `pcapsim -scenario` and POST
+// /v1/scenarios use for user-authored scenarios (their golden tests pin
+// the refactor to the historical bytes).
+func runSpec(opt Options, spec scenario.Spec) (*result.Artifact, error) {
+	prog, err := scenario.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Run(scenario.Env{Pool: scenarioPool{opt.pool}, Fast: opt.Fast})
 }

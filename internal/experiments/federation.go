@@ -1,63 +1,22 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
-	"pcaps/internal/carbon"
-	fed "pcaps/internal/federation"
-	"pcaps/internal/metrics"
 	"pcaps/internal/result"
-	"pcaps/internal/sched"
-	"pcaps/internal/sim"
-	"pcaps/internal/workload"
+	"pcaps/internal/scenario"
 )
 
 func init() {
 	register("federation", "multi-grid federation: routing policies vs single-grid baselines", federationTable)
 }
 
-// fedVariant is one row of the federation table: a routing policy, the
-// member-cluster scheduler family, and optionally a single-grid pin (the
-// geographic-diversity baseline: same cluster count, every member on the
-// same grid).
-type fedVariant struct {
-	name   string
-	single string // when set, every cluster replays this grid's window
-	router func() fed.Router
-	sched  func(seed int64) sim.Scheduler
-}
-
-func fifoMember(int64) sim.Scheduler { return &sched.FIFO{} }
-func capMember(int64) sim.Scheduler  { return sched.NewCAP(&sched.FIFO{}, 20) }
-
-// fedVariants enumerates the rows for one scenario in rendering order.
-func fedVariants(scenario []string) []fedVariant {
-	vs := make([]fedVariant, 0, len(scenario)+4)
-	for _, g := range scenario {
-		vs = append(vs, fedVariant{
-			name:   "single:" + g,
-			single: g,
-			router: func() fed.Router { return fed.NewRoundRobin() },
-			sched:  fifoMember,
-		})
-	}
-	return append(vs,
-		fedVariant{name: "fed:round-robin", router: func() fed.Router { return fed.NewRoundRobin() }, sched: fifoMember},
-		fedVariant{name: "fed:lowest-intensity", router: func() fed.Router { return fed.NewLowestIntensity() }, sched: fifoMember},
-		fedVariant{name: "fed:forecast-aware", router: func() fed.Router { return fed.NewForecastAware() }, sched: fifoMember},
-		fedVariant{name: "fed:forecast+CAP", router: func() fed.Router { return fed.NewForecastAware() }, sched: capMember},
-	)
-}
-
-// fedScenarios resolves the multi-grid scenario list: an explicit -grids
-// subset becomes the single scenario (a lone grid degenerates to a
-// one-cluster federation where every router agrees — the restriction is
-// honored rather than silently widened back to the default family);
+// fedTopologies resolves the multi-grid topology list: an explicit
+// -grids subset becomes the single topology (a lone grid degenerates to
+// a one-cluster federation where every router agrees — the restriction
+// is honored rather than silently widened back to the default family);
 // without a subset, a default family spanning the paper's grid set.
 // Options.validate has already rejected duplicate grid names, so the
 // subset is usable as-is.
-func fedScenarios(opt Options) [][]string {
+func fedTopologies(opt Options) [][]string {
 	if len(opt.Grids) > 0 {
 		return [][]string{opt.Grids}
 	}
@@ -71,138 +30,33 @@ func fedScenarios(opt Options) [][]string {
 	}
 }
 
-// federationTable regenerates the federation comparison: for each
-// multi-grid scenario, single-grid pins vs federated routing policies,
-// every run over the identical job batch and per-grid trace windows.
+// federationTable regenerates the federation comparison, declared as a
+// scenario spec: for each multi-grid topology, single-grid pins vs
+// federated routing policies, every run over the identical job batch
+// and per-grid trace windows. Members run FIFO except the forecast+CAP
+// row, whose member scheduler is CAP-FIFO.
 func federationTable(opt Options) (*result.Artifact, error) {
-	scenarios := fedScenarios(opt)
-	trials := opt.Trials
-	if trials <= 0 {
-		trials = 3
-	}
-	njobs := opt.Jobs
-	if njobs <= 0 {
-		njobs = 40
-	}
-	if opt.Fast {
-		trials = 1
-		if opt.Jobs <= 0 {
-			njobs = 16
-		}
-	}
-
-	// Cells are (scenario, trial); each cell runs every variant over the
-	// same batch and windows, and cells fan out over the shared pool.
-	type cellID struct{ scenario, trial int }
-	var cells []cellID
-	for si := range scenarios {
-		for t := 0; t < trials; t++ {
-			cells = append(cells, cellID{si, t})
-		}
-	}
-	envs := make([]*env, len(scenarios))
-	for si, sc := range scenarios {
-		envs[si] = newEnv(opt.scoped(sc...))
-	}
-	window := 60 + njobs // hours: generous for the batch
-
-	results := make([]map[string]metrics.FederationSummary, len(cells))
-	forEach(opt.pool, len(cells), func(i int) {
-		c := cells[i]
-		scenario := scenarios[c.scenario]
-		e := envs[c.scenario]
-		seed := cellSeed(opt.Seed, strings.Join(scenario, "+"), int64(c.trial))
-		jobs := batch(njobs, 30, workload.MixTPCH, seed)
-		traces := make(map[string]*carbon.Trace, len(scenario))
-		for _, g := range scenario {
-			traces[g] = e.trialTrace(g, window, cellSeed(seed, g))
-		}
-		out := make(map[string]metrics.FederationSummary)
-		for _, v := range fedVariants(scenario) {
-			clusters := make([]fed.ClusterSpec, len(scenario))
-			for ci, g := range scenario {
-				grid := g
-				if v.single != "" {
-					grid = v.single
-				}
-				tr := traces[grid]
-				clusters[ci] = fed.ClusterSpec{
-					Name:         fmt.Sprintf("%s-%d", grid, ci),
-					Grid:         grid,
-					Trace:        tr,
-					Config:       simConfig(tr, seed),
-					NewScheduler: v.sched,
-				}
-			}
-			f := &fed.Federation{Clusters: clusters, Router: v.router(), Seed: seed}
-			res, err := f.Run(jobs)
-			if err != nil {
-				panic(fmt.Sprintf("experiments: federation %s: %v", v.name, err))
-			}
-			out[v.name] = res.Summary
-		}
-		results[i] = out
+	return runSpec(opt, scenario.Spec{
+		Name:     "federation",
+		Seed:     opt.Seed,
+		Hours:    opt.Hours,
+		Trials:   opt.Trials,
+		Workload: scenario.WorkloadSpec{Mix: "tpch", Jobs: opt.Jobs},
+		Federation: &scenario.FederationSpec{
+			Topologies: fedTopologies(opt),
+			SinglePins: true,
+			Member:     &scenario.PolicySpec{Kind: "fifo"},
+			Routers: []scenario.RouterSpec{
+				{Name: "fed:round-robin", Kind: "round-robin"},
+				{Name: "fed:lowest-intensity", Kind: "lowest-intensity"},
+				{Name: "fed:forecast-aware", Kind: "forecast-aware"},
+				{Name: "fed:forecast+CAP", Kind: "forecast-aware",
+					Policy: &scenario.PolicySpec{Kind: "cap", B: 20, Inner: &scenario.PolicySpec{Kind: "fifo"}}},
+			},
+		},
+		Notes: []string{
+			"(single:<grid> pins every member cluster to one grid's window — the no-geographic-diversity baseline;\n",
+			" fed:* route across the scenario's grids. Members run FIFO except fed:forecast+CAP, which runs CAP-FIFO.)\n",
+		},
 	})
-
-	// Fold per scenario in cell order; aggregation is a serial mean, so
-	// the report is identical at any parallelism.
-	art := result.New()
-	for si, scenario := range scenarios {
-		agg := map[string]*fedAgg{}
-		for i, c := range cells {
-			if c.scenario != si {
-				continue
-			}
-			for name, s := range results[i] {
-				a := agg[name]
-				if a == nil {
-					a = &fedAgg{}
-					agg[name] = a
-				}
-				a.add(s)
-			}
-		}
-		base := agg["fed:round-robin"].summary()
-		// Member size comes from the same simConfig the cells use, so the
-		// header cannot drift from the simulated capacity.
-		memberK := simConfig(nil, 0).NumExecutors
-		art.Textf("scenario %s — %d clusters × %d executors, %d jobs, avg of %d trial(s):\n",
-			strings.Join(scenario, "+"), len(scenario), memberK, njobs, trials)
-		t := &result.Table{Name: strings.Join(scenario, "+"), Columns: metrics.FederationColumns()}
-		for _, v := range fedVariants(scenario) {
-			t.Rows = append(t.Rows, agg[v.name].summary().Row(v.name, base))
-		}
-		art.Add(t)
-		if si < len(scenarios)-1 {
-			art.Textf("\n")
-		}
-	}
-	art.Textf("(single:<grid> pins every member cluster to one grid's window — the no-geographic-diversity baseline;\n")
-	art.Textf(" fed:* route across the scenario's grids. Members run FIFO except fed:forecast+CAP, which runs CAP-FIFO.)\n")
-	return art, nil
-}
-
-// fedAgg averages federation summaries across trials.
-type fedAgg struct {
-	sumCarbon, sumMakespan, sumJCT float64
-	n                              int
-}
-
-func (a *fedAgg) add(s metrics.FederationSummary) {
-	a.sumCarbon += s.CarbonGrams
-	a.sumMakespan += s.Makespan
-	a.sumJCT += s.AvgJCT
-	a.n++
-}
-
-// summary folds the trial means back into a FederationSummary so the
-// averaged row renders through the same metrics table shape as a single
-// run.
-func (a *fedAgg) summary() metrics.FederationSummary {
-	n := float64(a.n)
-	return metrics.FederationSummary{
-		CarbonGrams: a.sumCarbon / n,
-		Makespan:    a.sumMakespan / n,
-		AvgJCT:      a.sumJCT / n,
-	}
 }

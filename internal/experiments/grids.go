@@ -1,10 +1,8 @@
 package experiments
 
 import (
-	"pcaps/internal/metrics"
 	"pcaps/internal/result"
-	"pcaps/internal/sched"
-	"pcaps/internal/sim"
+	"pcaps/internal/scenario"
 	"pcaps/internal/workload"
 )
 
@@ -13,148 +11,53 @@ func init() {
 	register("fig14", "simulator carbon reduction and ECT per grid (Fig 14)", fig14)
 }
 
-// gridRow aggregates one scheduler's per-grid outcomes.
-type gridRow struct {
-	carbonPct, ects map[string][]float64
-}
+// The per-grid comparisons are declared as scenario specs and compiled
+// through internal/scenario's comparison family: for each grid, trials
+// of the carbon-aware policy set vs a baseline across the 25/50/100-job
+// batch sizes, reporting mean carbon reduction and relative ECT. The
+// golden tests pin the compiled artifacts to the hand-written runners'
+// bytes.
 
-func newGridRow(grids []string) *gridRow {
-	g := &gridRow{carbonPct: map[string][]float64{}, ects: map[string][]float64{}}
-	for _, name := range grids {
-		g.carbonPct[name] = nil
-		g.ects[name] = nil
+// perGridSpec assembles the shared comparison shape from the run
+// options.
+func perGridSpec(opt Options, name string, proto bool, mix workload.Mix,
+	baseline scenario.PolicySpec, policies []scenario.PolicySpec, paperNote string) scenario.Spec {
+	return scenario.Spec{
+		Name:     name,
+		Seed:     opt.Seed,
+		Hours:    opt.Hours,
+		Trials:   opt.Trials,
+		Proto:    proto,
+		Grids:    opt.Grids,
+		Workload: scenario.WorkloadSpec{Mix: mix.String(), Jobs: opt.Jobs},
+		Baseline: &baseline,
+		Policies: policies,
+		Notes:    []string{paperNote},
 	}
-	return g
-}
-
-// perGridTable is one of the two fig10/14 sub-tables: scheduler rows,
-// one typed column per grid.
-func perGridTable(name string, grids []string, prec int, format string) *result.Table {
-	cols := []result.Column{
-		{Name: "scheduler", Kind: result.KindString, Header: "scheduler", HeaderFormat: "%-12s", Format: "%-12s"},
-	}
-	for _, g := range grids {
-		cols = append(cols, result.Column{
-			Name: g, Kind: result.KindFloat, Prec: prec,
-			Header: g, HeaderFormat: "%10s", Format: format,
-		})
-	}
-	return &result.Table{Name: name, Columns: cols}
-}
-
-// perGrid runs the per-grid comparison of Figs. 10 and 14: for each grid,
-// trials of {aware schedulers} vs a baseline, reporting carbon reduction
-// and relative ECT.
-func perGrid(opt Options, proto bool, mix workload.Mix,
-	baseline func(seed int64) sim.Scheduler,
-	schedulers map[string]func(seed int64) sim.Scheduler, paperNote string) (*result.Artifact, error) {
-	e := newEnv(opt)
-	trials := opt.Trials
-	if trials <= 0 {
-		trials = 3
-	}
-	if opt.Fast {
-		trials = 1
-	}
-	sizes := []int{25, 50, 100}
-	if opt.Fast {
-		sizes = []int{25}
-	}
-	if opt.Jobs > 0 {
-		sizes = []int{opt.Jobs}
-	}
-	rows := map[string]*gridRow{}
-	names := make([]string, 0, len(schedulers))
-	for name := range schedulers {
-		names = append(names, name)
-	}
-	// Deterministic iteration order.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
-	for _, name := range names {
-		rows[name] = newGridRow(e.opt.Grids)
-	}
-	// Fan the (grid, size, trial) cells out over the pool; each cell runs
-	// its baseline plus every scheduler, and the per-cell results fold
-	// back in matrix order so the report is identical at any parallelism.
-	cells := matrixCells(e.opt.Grids, sizes, trials)
-	runs := make([]map[string]*sim.Result, len(cells))
-	forEach(e.opt.pool, len(cells), func(i int) {
-		c := cells[i]
-		seed := cellSeed(e.opt.Seed, c.grid, int64(c.size), int64(c.trial))
-		jobs := batch(c.size, 30, mix, seed)
-		tr := e.trialTrace(c.grid, 60+c.size, seed)
-		cfg := simConfig(tr, seed)
-		if proto {
-			cfg = protoConfig(tr, seed)
-		}
-		out := map[string]*sim.Result{"": mustRun(cfg, jobs, baseline(seed))}
-		for _, name := range names {
-			out[name] = mustRun(cfg, jobs, schedulers[name](seed))
-		}
-		runs[i] = out
-	})
-	for i, c := range cells {
-		base := runs[i][""]
-		for _, name := range names {
-			r := runs[i][name]
-			rows[name].carbonPct[c.grid] = append(rows[name].carbonPct[c.grid],
-				-metrics.PercentChange(r.CarbonGrams, base.CarbonGrams))
-			rows[name].ects[c.grid] = append(rows[name].ects[c.grid], r.ECT/base.ECT)
-		}
-	}
-	a := result.New()
-	a.Textf("carbon reduction (%%):\n")
-	carbonT := perGridTable("carbon_reduction_pct", e.opt.Grids, 1, "%10.1f")
-	for _, name := range names {
-		cells := []result.Cell{result.Str(name)}
-		for _, g := range e.opt.Grids {
-			cells = append(cells, result.Float(metrics.Summarize(rows[name].carbonPct[g]).Mean))
-		}
-		carbonT.Rows = append(carbonT.Rows, cells)
-	}
-	a.Add(carbonT)
-	a.Textf("relative ECT:\n")
-	ectT := perGridTable("relative_ect", e.opt.Grids, 3, "%10.3f")
-	for _, name := range names {
-		cells := []result.Cell{result.Str(name)}
-		for _, g := range e.opt.Grids {
-			cells = append(cells, result.Float(metrics.Summarize(rows[name].ects[g]).Mean))
-		}
-		ectT.Rows = append(ectT.Rows, cells)
-	}
-	a.Add(ectT)
-	a.Textf("%s", paperNote)
-	return a, nil
 }
 
 // fig10 regenerates the prototype per-grid comparison (Fig. 10): PCAPS,
 // CAP, and Decima vs the Spark/Kubernetes default across the six grids.
 func fig10(opt Options) (*result.Artifact, error) {
-	return perGrid(opt, true, workload.MixBoth,
-		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
-		map[string]func(seed int64) sim.Scheduler{
-			"Decima": func(seed int64) sim.Scheduler { return sched.NewDecima(seed) },
-			"CAP":    func(seed int64) sim.Scheduler { return sched.NewCAP(sched.NewKubeDefault(), 20) },
-			"PCAPS":  func(seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
+	return runSpec(opt, perGridSpec(opt, "fig10", true, workload.MixBoth,
+		scenario.PolicySpec{Kind: "kube-default"},
+		[]scenario.PolicySpec{
+			{Name: "Decima", Kind: "decima"},
+			{Name: "CAP", Kind: "cap", B: 20, Inner: &scenario.PolicySpec{Kind: "kube-default"}},
+			{Name: "PCAPS", Kind: "pcaps", Gamma: 0.5, Inner: &scenario.PolicySpec{Kind: "decima"}},
 		},
-		"paper: variable grids (CAISO, ON, DE) yield the largest reductions and ECT costs; flat ZA yields minimal change; Decima is ~flat everywhere\n")
+		"paper: variable grids (CAISO, ON, DE) yield the largest reductions and ECT costs; flat ZA yields minimal change; Decima is ~flat everywhere\n"))
 }
 
 // fig14 regenerates the simulator per-grid comparison (Fig. 14): PCAPS,
 // CAP-FIFO, and Decima vs FIFO.
 func fig14(opt Options) (*result.Artifact, error) {
-	return perGrid(opt, false, workload.MixTPCH,
-		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
-		map[string]func(seed int64) sim.Scheduler{
-			"Decima":   func(seed int64) sim.Scheduler { return sched.NewDecima(seed) },
-			"CAP-FIFO": func(seed int64) sim.Scheduler { return sched.NewCAP(&sched.FIFO{}, 20) },
-			"PCAPS":    func(seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed) },
+	return runSpec(opt, perGridSpec(opt, "fig14", false, workload.MixTPCH,
+		scenario.PolicySpec{Kind: "fifo"},
+		[]scenario.PolicySpec{
+			{Name: "Decima", Kind: "decima"},
+			{Name: "CAP-FIFO", Kind: "cap", B: 20, Inner: &scenario.PolicySpec{Kind: "fifo"}},
+			{Name: "PCAPS", Kind: "pcaps", Gamma: 0.5, Inner: &scenario.PolicySpec{Kind: "decima"}},
 		},
-		"paper: same grid ordering as Fig 10, with Decima's baseline reduction higher than in the prototype (A.1.2)\n")
+		"paper: same grid ordering as Fig 10, with Decima's baseline reduction higher than in the prototype (A.1.2)\n"))
 }

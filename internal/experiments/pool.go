@@ -1,30 +1,26 @@
 package experiments
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/scenario"
 	"pcaps/internal/seed"
 )
 
 // pool bounds the total worker goroutines of one experiment run. A single
 // pool is created per Run/RunAll call and shared by every nested forEach
 // (artifact fan-out, per-runner cell fan-out), so Options.Parallel is a
-// true process-wide cap rather than a per-level multiplier.
+// true process-wide cap rather than a per-level multiplier. The worker
+// machinery itself lives in internal/scenario (scenario.NewPool): one
+// implementation of the non-blocking shared-budget pool serves both the
+// hand-written runners here and compiled scenarios.
 type pool struct {
-	// tokens holds permits for extra worker goroutines beyond the
-	// calling one; capacity is parallel-1 so callers plus extras never
-	// exceed the requested parallelism.
-	tokens chan struct{}
+	inner scenario.Pool
 }
 
 func newPool(parallel int) *pool {
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	return &pool{tokens: make(chan struct{}, parallel-1)}
+	return &pool{inner: scenario.NewPool(parallel)}
 }
 
 // forEach runs fn(i) for every i in [0, n). The calling goroutine always
@@ -42,57 +38,13 @@ func newPool(parallel int) *pool {
 // order; callers collect per-cell outputs into index i of a pre-sized
 // slice and fold them serially afterwards.
 func forEach(p *pool, n int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicked any
-	)
-	next.Store(-1)
-	work := func() {
-		defer func() {
-			if r := recover(); r != nil {
-				failed.Store(true)
-				panicMu.Lock()
-				if panicked == nil {
-					panicked = r
-				}
-				panicMu.Unlock()
-			}
-		}()
-		for !failed.Load() {
-			i := int(next.Add(1))
-			if i >= n {
-				return
-			}
+	if p == nil {
+		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		return
 	}
-	if p != nil {
-	spawn:
-		for extras := 0; extras < n-1; extras++ {
-			select {
-			case p.tokens <- struct{}{}:
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					defer func() { <-p.tokens }()
-					work()
-				}()
-			default:
-				break spawn // budget spent; the caller still works
-			}
-		}
-	}
-	work()
-	wg.Wait()
-	if panicked != nil {
-		panic(panicked)
-	}
+	p.inner.ForEach(n, fn)
 }
 
 // cellSeed derives the RNG seed of one experiment cell from the run seed

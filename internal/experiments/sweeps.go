@@ -4,6 +4,7 @@ import (
 	"pcaps/internal/dag"
 	"pcaps/internal/metrics"
 	"pcaps/internal/result"
+	"pcaps/internal/scenario"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
 	"pcaps/internal/workload"
@@ -17,145 +18,79 @@ func init() {
 	register("fig13", "PCAPS vs CAP-Decima trade-off frontier (Fig 13)", fig13)
 }
 
-// sweepPoint aggregates trials of one parameter setting.
-type sweepPoint struct {
-	param           float64
-	carbonPct, ects []float64
-}
+// The four parameter sweeps are declared as scenario specs and compiled
+// through internal/scenario — the same layer `pcapsim -scenario` runs
+// user specs through. The sweep executes in the DE grid with 50-job
+// batches (25 fast), each carbon-aware setting normalized against the
+// trial's baseline run; the golden tests pin the compiled artifacts to
+// the hand-written runners' bytes.
 
-// trialState is one trial's stage-1 output in the two-stage sweeps: the
-// shared batch and configuration plus the baseline run every stage-2
-// parameter point normalizes against.
-type trialState struct {
-	jobs []*dag.Job
-	cfg  sim.Config
-	base *sim.Result
-}
-
-// sweepTable builds the shared sweep shape: one row per parameter value,
-// mean ± std for carbon reduction and relative ECT.
-func sweepTable(label string, pts []sweepPoint) *result.Table {
-	t := &result.Table{
-		Name: "sweep",
-		Columns: []result.Column{
-			{Name: "param", Kind: result.KindFloat, Prec: 2, Header: label, HeaderFormat: "%8s", Format: "%8.2f"},
-			{Name: "carbon_reduction_pct_mean", Kind: result.KindFloat, Prec: 1,
-				Header: "carbon red. (%)", HeaderFormat: " %16s", Format: " %10.1f"},
-			{Name: "carbon_reduction_pct_std", Kind: result.KindFloat, Prec: 1, Format: " ±%4.1f"},
-			{Name: "relative_ect_mean", Kind: result.KindFloat, Prec: 3,
-				Header: "relative ECT", HeaderFormat: " %18s", Format: " %12.3f"},
-			{Name: "relative_ect_std", Kind: result.KindFloat, Prec: 3, Format: " ±%.3f"},
+// sweepSpec assembles the shared sweep shape from the run options.
+func sweepSpec(opt Options, name string, proto bool, mix workload.Mix,
+	baseline, swept scenario.PolicySpec, label string, values []float64, note string) scenario.Spec {
+	return scenario.Spec{
+		Name:     name,
+		Seed:     opt.Seed,
+		Hours:    opt.Hours,
+		Trials:   opt.Trials,
+		Proto:    proto,
+		Workload: scenario.WorkloadSpec{Mix: mix.String(), Jobs: opt.Jobs},
+		Baseline: &baseline,
+		Sweep: &scenario.SweepSpec{
+			Grid:   "DE",
+			Label:  label,
+			Values: values,
+			Policy: swept,
 		},
+		Notes: []string{note},
 	}
-	for _, p := range pts {
-		c := metrics.Summarize(p.carbonPct)
-		e := metrics.Summarize(p.ects)
-		t.Row(result.Float(p.param),
-			result.Float(c.Mean), result.Float(c.Std),
-			result.Float(e.Mean), result.Float(e.Std))
-	}
-	return t
 }
 
-// sweep runs a parameter sweep in the DE grid with 50-job batches,
-// comparing each carbon-aware configuration against a baseline run.
-func sweep(opt Options, proto bool, mix workload.Mix,
-	baseline func(seed int64) sim.Scheduler,
-	params []float64, aware func(p float64, seed int64) sim.Scheduler) []sweepPoint {
-	e := newEnv(opt.scoped("DE"))
-	trials := opt.Trials
-	if trials <= 0 {
-		trials = 5
-	}
-	if opt.Fast {
-		trials = 1
-	}
-	n := opt.Jobs
-	if n <= 0 {
-		n = 50
-	}
-	if opt.Fast {
-		n = 25
-	}
-	pts := make([]sweepPoint, len(params))
-	for i, p := range params {
-		pts[i].param = p
-	}
-	// Stage 1: baselines, one cell per trial. Stage 2: every (trial,
-	// param) run against its trial's baseline. Both stages fan out over
-	// the pool; the fold below walks trials in order so the appended
-	// sample order matches a serial sweep exactly.
-	states := make([]trialState, trials)
-	forEach(opt.pool, trials, func(t int) {
-		seed := cellSeed(opt.Seed, "DE", int64(t))
-		jobs := batch(n, 30, mix, seed)
-		tr := e.trialTrace("DE", 60+n, seed)
-		cfg := simConfig(tr, seed)
-		if proto {
-			cfg = protoConfig(tr, seed)
-		}
-		states[t] = trialState{jobs: jobs, cfg: cfg, base: mustRun(cfg, jobs, baseline(seed))}
-	})
-	runs := make([]*sim.Result, trials*len(params))
-	forEach(opt.pool, len(runs), func(k int) {
-		t, i := k/len(params), k%len(params)
-		seed := cellSeed(opt.Seed, "DE", int64(t))
-		runs[k] = mustRun(states[t].cfg, states[t].jobs, aware(params[i], seed))
-	})
-	for t := 0; t < trials; t++ {
-		for i := range params {
-			r := runs[t*len(params)+i]
-			pts[i].carbonPct = append(pts[i].carbonPct, -metrics.PercentChange(r.CarbonGrams, states[t].base.CarbonGrams))
-			pts[i].ects = append(pts[i].ects, r.ECT/states[t].base.ECT)
-		}
-	}
-	return pts
-}
+var (
+	pcapsDecima = scenario.PolicySpec{Kind: "pcaps", Inner: &scenario.PolicySpec{Kind: "decima"}}
+	capKube     = scenario.PolicySpec{Kind: "cap", Inner: &scenario.PolicySpec{Kind: "kube-default"}}
+	capFIFO     = scenario.PolicySpec{Kind: "cap", Inner: &scenario.PolicySpec{Kind: "fifo"}}
+	gammaValues = []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	bValues     = []float64{5, 20, 40, 60, 80}
+)
 
 // fig7 regenerates the prototype PCAPS γ-sweep: carbon reduction and
 // relative ECT vs the Spark/Kubernetes default for five carbon-awareness
 // settings (Fig. 7).
 func fig7(opt Options) (*result.Artifact, error) {
-	pts := sweep(opt, true, workload.MixBoth,
-		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
-		[]float64{0.1, 0.25, 0.5, 0.75, 1.0},
-		func(g float64, seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), g, seed) })
-	a := result.New().Add(sweepTable("γ", pts))
-	a.Textf("paper: carbon savings grow with γ, steeply near γ→1, at the cost of longer ECT\n")
-	return a, nil
+	return runSpec(opt, sweepSpec(opt, "fig7", true, workload.MixBoth,
+		scenario.PolicySpec{Kind: "kube-default"}, pcapsDecima, "γ", gammaValues,
+		"paper: carbon savings grow with γ, steeply near γ→1, at the cost of longer ECT\n"))
 }
 
 // fig8 regenerates the prototype CAP B-sweep (Fig. 8).
 func fig8(opt Options) (*result.Artifact, error) {
-	pts := sweep(opt, true, workload.MixBoth,
-		func(seed int64) sim.Scheduler { return sched.NewKubeDefault() },
-		[]float64{5, 20, 40, 60, 80},
-		func(b float64, seed int64) sim.Scheduler { return sched.NewCAP(sched.NewKubeDefault(), int(b)) })
-	a := result.New().Add(sweepTable("B", pts))
-	a.Textf("paper: smaller B (stricter quota) saves more carbon but sacrifices more ECT than PCAPS\n")
-	return a, nil
+	return runSpec(opt, sweepSpec(opt, "fig8", true, workload.MixBoth,
+		scenario.PolicySpec{Kind: "kube-default"}, capKube, "B", bValues,
+		"paper: smaller B (stricter quota) saves more carbon but sacrifices more ECT than PCAPS\n"))
 }
 
 // fig11 regenerates the simulator PCAPS γ-sweep vs FIFO (Fig. 11).
 func fig11(opt Options) (*result.Artifact, error) {
-	pts := sweep(opt, false, workload.MixTPCH,
-		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
-		[]float64{0.1, 0.25, 0.5, 0.75, 1.0},
-		func(g float64, seed int64) sim.Scheduler { return sched.NewPCAPS(sched.NewDecima(seed), g, seed) })
-	a := result.New().Add(sweepTable("γ", pts))
-	a.Textf("paper: savings improve with γ, most pronounced approaching 1\n")
-	return a, nil
+	return runSpec(opt, sweepSpec(opt, "fig11", false, workload.MixTPCH,
+		scenario.PolicySpec{Kind: "fifo"}, pcapsDecima, "γ", gammaValues,
+		"paper: savings improve with γ, most pronounced approaching 1\n"))
 }
 
 // fig12 regenerates the simulator CAP-FIFO B-sweep vs FIFO (Fig. 12).
 func fig12(opt Options) (*result.Artifact, error) {
-	pts := sweep(opt, false, workload.MixTPCH,
-		func(seed int64) sim.Scheduler { return &sched.FIFO{} },
-		[]float64{5, 20, 40, 60, 80},
-		func(b float64, seed int64) sim.Scheduler { return sched.NewCAP(&sched.FIFO{}, int(b)) })
-	a := result.New().Add(sweepTable("B", pts))
-	a.Textf("paper: CAP-FIFO sacrifices more ECT than PCAPS for the same savings; the increase begins at milder settings\n")
-	return a, nil
+	return runSpec(opt, sweepSpec(opt, "fig12", false, workload.MixTPCH,
+		scenario.PolicySpec{Kind: "fifo"}, capFIFO, "B", bValues,
+		"paper: CAP-FIFO sacrifices more ECT than PCAPS for the same savings; the increase begins at milder settings\n"))
+}
+
+// trialState is one trial's stage-1 output in fig13's two-stage
+// frontier: the shared batch and configuration plus the baseline run
+// every stage-2 parameter point normalizes against.
+type trialState struct {
+	jobs []*dag.Job
+	cfg  sim.Config
+	base *sim.Result
 }
 
 // frontierSeries renders one method's trade-off cloud: x = relative ECT,
@@ -175,7 +110,9 @@ func frontierSeries(name, display string, pts []metrics.Point) *result.Series {
 
 // fig13 regenerates the PCAPS vs CAP-Decima trade-off frontier: trials
 // across γ ∈ [0.1, 1.0] and B ∈ {5, …, 85}, a cubic fit per method, and
-// the paper's two frontier comparisons.
+// the paper's two frontier comparisons. The frontier's cross-method
+// banding does not fit the declarative sweep shape, so it stays a
+// hand-written runner.
 func fig13(opt Options) (*result.Artifact, error) {
 	e := newEnv(opt.scoped("DE"))
 	trials := opt.Trials

@@ -1,0 +1,233 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcaps/internal/carbon"
+	"pcaps/internal/carbonapi"
+	"pcaps/internal/seed"
+)
+
+// Pool bounds the worker goroutines a compiled scenario fans its cells
+// out over. ForEach must run fn(i) exactly once for every i in [0, n)
+// and return only when all calls finish; implementations may run them
+// in any order and with any concurrency, because every cell derives its
+// randomness from its own identity (seed.Derive), never from execution
+// order. internal/experiments adapts its shared-budget pool to this
+// interface so built-in artifacts and nested scenario cells draw from
+// one process-wide worker budget.
+type Pool interface {
+	ForEach(n int, fn func(i int))
+}
+
+// serialPool runs cells on the calling goroutine; the nil-Pool default.
+type serialPool struct{}
+
+func (serialPool) ForEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// tokenPool is a standalone worker pool with the same contract as the
+// experiment engine's: the caller always works, extras are spawned only
+// while permits are free (non-blocking, so nested fan-outs degrade to
+// serial instead of deadlocking), and a worker panic stops dispatch and
+// re-raises in the caller.
+type tokenPool struct {
+	tokens chan struct{}
+}
+
+// NewPool returns a Pool bounded to the given parallelism: 0 selects
+// GOMAXPROCS, 1 forces the serial path.
+func NewPool(parallel int) Pool {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &tokenPool{tokens: make(chan struct{}, parallel-1)}
+}
+
+// ForEach implements Pool.
+func (p *tokenPool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	next.Store(-1)
+	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				failed.Store(true)
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for !failed.Load() {
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+spawn:
+	for extras := 0; extras < n-1; extras++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.tokens }()
+				work()
+			}()
+		default:
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// TraceProvider resolves one cluster's carbon source to a trace. hours
+// and synthSeed apply to the "synth" source (the seed already carries
+// the grid's derivation offset); csv and carbonapi sources return the
+// trace as stored/served. Injected by tests and by servers that must
+// not touch the filesystem or network on behalf of a request.
+type TraceProvider interface {
+	Trace(c ClusterSpec, hours int, synthSeed int64) (*carbon.Trace, error)
+}
+
+// Sources is the default TraceProvider: calibrated synthesis (cached,
+// like the experiment engine's trace cache), CSV files, and live
+// carbonapi fetches.
+type Sources struct {
+	// FetchTimeout bounds one carbonapi fetch (0: 30 s — a full
+	// three-year trace is ~26k samples).
+	FetchTimeout time.Duration
+}
+
+type synthKey struct {
+	grid  string
+	hours int
+	seed  int64
+}
+
+type synthEntry struct {
+	once sync.Once
+	tr   *carbon.Trace
+}
+
+// synthCache shares synthesized traces across scenario runs; traces are
+// read-only after construction, so concurrent reuse is safe. Entries
+// are capped: a long-lived server answering specs with ever-new
+// (seed, hours) pairs must not accumulate traces forever, so past the
+// cap new keys synthesize uncached (correctness is unaffected — the
+// cache is purely a de-duplication of pure-function results).
+var (
+	synthCache      sync.Map // synthKey → *synthEntry
+	synthCacheCount atomic.Int64
+)
+
+// maxSynthCacheEntries bounds the cache: 64 three-year traces ≈ 13 MB,
+// comfortably above what `-exp all` plus the examples touch.
+const maxSynthCacheEntries = 64
+
+// Trace implements TraceProvider.
+func (s Sources) Trace(c ClusterSpec, hours int, synthSeed int64) (*carbon.Trace, error) {
+	switch src := c.Source; src {
+	case "", "synth":
+		spec, err := carbon.GridByName(c.Grid)
+		if err != nil {
+			return nil, err
+		}
+		key := synthKey{grid: c.Grid, hours: hours, seed: synthSeed}
+		if v, ok := synthCache.Load(key); ok {
+			e := v.(*synthEntry)
+			e.once.Do(func() { e.tr = carbon.Synthesize(spec, hours, 60, synthSeed) })
+			return e.tr, nil
+		}
+		if synthCacheCount.Load() >= maxSynthCacheEntries {
+			return carbon.Synthesize(spec, hours, 60, synthSeed), nil
+		}
+		v, loaded := synthCache.LoadOrStore(key, &synthEntry{})
+		if !loaded {
+			synthCacheCount.Add(1)
+		}
+		e := v.(*synthEntry)
+		e.once.Do(func() { e.tr = carbon.Synthesize(spec, hours, 60, synthSeed) })
+		return e.tr, nil
+	case "csv":
+		f, err := os.Open(c.CSV)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: carbon source for %q: %w", c.Grid, err)
+		}
+		defer f.Close()
+		return carbon.ReadCSV(f, c.Grid, 60)
+	case "carbonapi":
+		timeout := s.FetchTimeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		client := carbonapi.NewClient(c.URL)
+		// Relax the client's default 5-second poll timeout: a full
+		// three-year trace window legitimately takes longer. The context
+		// deadline above still bounds the call.
+		client.HTTPClient = &http.Client{Timeout: timeout}
+		tr, err := client.FetchTrace(ctx, c.Grid, 0, hours)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: carbon source for %q: %w", c.Grid, err)
+		}
+		return tr, nil
+	default:
+		return nil, fieldErr("source", "unknown carbon source %q", c.Source)
+	}
+}
+
+// trialWindow replays the experiment engine's randomized trial windows
+// byte-for-byte: a uniformly random start offset into the trace drawn
+// from an RNG seeded by the cell's identity (domain-separated from the
+// job batch, which consumes the undecorated cell seed).
+func trialWindow(tr *carbon.Trace, windowHours int, cellSeed int64) *carbon.Trace {
+	maxStart := len(tr.Values) - windowHours
+	if maxStart < 1 {
+		return tr
+	}
+	rng := rand.New(rand.NewSource(seed.Derive(cellSeed, "trace-offset")))
+	off := float64(rng.Intn(maxStart)) * tr.Interval
+	return tr.Slice(off, float64(windowHours)*tr.Interval)
+}
+
+// synthSeedFor derives the synthesis seed of one grid the way the
+// experiment engine's env does: the run seed offset by the grid's index
+// in the canonical Table 1 order, so a scenario and a built-in artifact
+// replaying the same grid at the same seed see identical intensities.
+func synthSeedFor(runSeed int64, grid string) int64 {
+	for i, spec := range carbon.Grids() {
+		if spec.Name == grid {
+			return runSeed + int64(i)*1000003
+		}
+	}
+	return runSeed
+}

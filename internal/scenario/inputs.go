@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"pcaps/internal/carbon"
+	"pcaps/internal/dag"
+)
+
+// ResolvedCluster is one cluster's materialized carbon input.
+type ResolvedCluster struct {
+	// Name is the cluster/grid label.
+	Name string
+	// Grid is the power-grid identifier.
+	Grid string
+	// Trace is the full resolved carbon trace (the per-trial windows
+	// the runs slice out of it derive from the cell seeds).
+	Trace *carbon.Trace
+	// SynthSeed is the seed a "synth" source was generated with (the
+	// run seed offset by the grid's canonical index) — the value that
+	// regenerates the trace via carbon.Synthesize or `tracegen -grid
+	// NAME -seed SynthSeed`. Meaningless for csv/carbonapi sources.
+	SynthSeed int64
+}
+
+// Inputs are a scenario's resolved, replayable inputs: every cluster's
+// full carbon trace and the template job batch. `tracegen -scenario`
+// serializes these as CSV for offline replay and external tooling.
+type Inputs struct {
+	// Clusters holds one entry per distinct cluster/grid the scenario
+	// touches, in declaration order.
+	Clusters []ResolvedCluster
+	// Jobs is the template batch: the scenario's batch configuration
+	// drawn at the spec seed. (Individual trials derive their batches
+	// from per-cell seeds; the template documents the workload shape.)
+	Jobs []*dag.Job
+	// Mix, JobsN, InterarrivalSec, Seed, and Hours echo the resolved
+	// batch/trace configuration, for provenance headers.
+	Mix             string
+	JobsN           int
+	InterarrivalSec float64
+	Seed            int64
+	Hours           int
+}
+
+// Inputs resolves the program's carbon sources and template workload
+// without running any simulation.
+func (p *Program) Inputs(env Env) (*Inputs, error) {
+	r := newRunEnv(p.spec, env)
+
+	var members []member
+	var err error
+	switch {
+	case p.spec.Sweep != nil:
+		if len(p.spec.Clusters) > 0 {
+			members, err = r.resolveMembers()
+		} else {
+			grid := p.spec.Sweep.Grid
+			if grid == "" {
+				grid = "DE"
+			}
+			members, err = r.gridMembers([]string{grid})
+		}
+	case p.spec.Federation != nil && len(p.spec.Federation.Topologies) > 0:
+		seen := map[string]bool{}
+		for _, topo := range p.spec.Federation.Topologies {
+			ms, terr := r.gridMembers(topo)
+			if terr != nil {
+				err = terr
+				break
+			}
+			for _, m := range ms {
+				if !seen[m.key] {
+					seen[m.key] = true
+					members = append(members, m)
+				}
+			}
+		}
+	default:
+		members, err = r.resolveMembers()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	n := p.spec.Workload.Jobs
+	switch {
+	case p.spec.Sweep != nil:
+		// Mirrors runSweep: fast shrinks the default batch only, an
+		// explicit size is honored — Inputs must describe what Run
+		// simulates.
+		if n <= 0 {
+			n = 50
+			if r.fast {
+				n = 25
+			}
+		}
+	case p.spec.Federation != nil:
+		if n <= 0 {
+			n = 40
+			if r.fast {
+				n = 16
+			}
+		}
+	default:
+		if n <= 0 {
+			if len(p.spec.Workload.Sizes) > 0 {
+				n = p.spec.Workload.Sizes[0]
+			} else {
+				n = 25
+			}
+		}
+	}
+
+	out := &Inputs{
+		Jobs:            r.batch(n, r.seed),
+		Mix:             r.mix.String(),
+		JobsN:           n,
+		InterarrivalSec: r.inter,
+		Seed:            r.seed,
+		Hours:           r.hours,
+	}
+	for _, m := range members {
+		out.Clusters = append(out.Clusters, ResolvedCluster{
+			Name: m.key, Grid: m.grid, Trace: m.trace,
+			SynthSeed: synthSeedFor(r.seed, m.grid),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const yamlSpec = `
+# comments are stripped, including trailing ones
+name: demo          # trailing comment
+title: "a: quoted title"
+seed: 9
+grids: [DE, CAISO]  # inline flow list
+workload:
+  mix: tpch
+  jobs: 10
+trials: 2
+baseline:
+  kind: fifo
+policies:
+  - name: PCAPS
+    kind: pcaps
+    gamma: 0.75
+    inner:
+      kind: decima
+  - kind: cap
+    b: 10
+notes:
+  - "line one\n"
+`
+
+func TestParseYAMLSpec(t *testing.T) {
+	got, err := Parse([]byte(yamlSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Spec{
+		Name:     "demo",
+		Title:    "a: quoted title",
+		Seed:     9,
+		Grids:    []string{"DE", "CAISO"},
+		Workload: WorkloadSpec{Mix: "tpch", Jobs: 10},
+		Trials:   2,
+		Baseline: &PolicySpec{Kind: "fifo"},
+		Policies: []PolicySpec{
+			{Name: "PCAPS", Kind: "pcaps", Gamma: 0.75, Inner: &PolicySpec{Kind: "decima"}},
+			{Kind: "cap", B: 10},
+		},
+		Notes: []string{"line one\n"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed spec = %+v, want %+v", got, want)
+	}
+}
+
+// TestParseYAMLEquivalentToJSON: the same scenario in either dialect
+// decodes to the same Spec (the YAML tree is funneled through the JSON
+// schema).
+func TestParseYAMLEquivalentToJSON(t *testing.T) {
+	jsonSpec := `{
+		"name": "demo", "title": "a: quoted title", "seed": 9,
+		"grids": ["DE", "CAISO"],
+		"workload": {"mix": "tpch", "jobs": 10},
+		"trials": 2,
+		"baseline": {"kind": "fifo"},
+		"policies": [
+			{"name": "PCAPS", "kind": "pcaps", "gamma": 0.75, "inner": {"kind": "decima"}},
+			{"kind": "cap", "b": 10}
+		],
+		"notes": ["line one\n"]
+	}`
+	fromYAML, err := Parse([]byte(yamlSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Parse([]byte(jsonSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Fatalf("YAML and JSON decode diverged:\n%+v\n%+v", fromYAML, fromJSON)
+	}
+}
+
+// TestParseRejectsUnknownFields: a typo'd knob must fail loudly, in
+// both dialects.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	for _, doc := range []string{
+		`{"name": "x", "workload": {"mix": "tpch"}, "sede": 7}`,
+		"name: x\nworkload:\n  mix: tpch\nsede: 7\n",
+	} {
+		if _, err := Parse([]byte(doc)); err == nil || !strings.Contains(err.Error(), "sede") {
+			t.Fatalf("unknown field accepted or unnamed: %v", err)
+		}
+	}
+}
+
+// TestYAMLFlowListQuotedCommas: a comma inside a quoted scalar is
+// content, not a separator; an unterminated quote is rejected, not
+// guessed at.
+func TestYAMLFlowListQuotedCommas(t *testing.T) {
+	tree, err := yamlToTree([]byte(`vals: ["a, b", 'c, d', plain]` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tree.(map[string]any)["vals"]
+	want := []any{"a, b", "c, d", "plain"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("flow list = %#v, want %#v", got, want)
+	}
+	if _, err := yamlToTree([]byte(`vals: ["a, b]` + "\n")); err == nil {
+		t.Fatal("unterminated quoted scalar accepted")
+	}
+}
+
+func TestParseRejectsMalformedYAML(t *testing.T) {
+	cases := map[string]string{
+		"tabs":              "name: x\n\tworkload: 1\n",
+		"flow map":          "name: x\nworkload: {mix: tpch}\n",
+		"bare scalar":       "just words\n",
+		"unterminated flow": "name: x\ngrids: [DE, CAISO\n",
+		"empty":             "   \n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Fatalf("%s: malformed YAML accepted", name)
+		}
+	}
+}
+
+func TestParseRejectsTrailingDocument(t *testing.T) {
+	doc := `{"name": "x", "workload": {"mix": "tpch"}, "baseline": {"kind": "fifo"}, "policies": [{"kind": "cap"}]}{"name": "y"}`
+	if _, err := Parse([]byte(doc)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing document accepted: %v", err)
+	}
+}
+
+// TestLoadExampleGallery: every checked-in example spec must parse and
+// compile — the gallery is documentation that cannot drift.
+func TestLoadExampleGallery(t *testing.T) {
+	for _, path := range []string{
+		"../../examples/scenarios/minimal.json",
+		"../../examples/scenarios/gamma-sweep.json",
+		"../../examples/scenarios/federation.yaml",
+		"../../examples/scenarios/priced.json",
+	} {
+		spec, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, err := Compile(*spec); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+}

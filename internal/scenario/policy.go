@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"fmt"
+
+	fed "pcaps/internal/federation"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
+)
+
+// Defaults applied when a policy omits its parameter; the paper's
+// mid-range settings (CAP B=20 as in Figs. 10/14, PCAPS γ=0.5).
+const (
+	defaultCAPB       = 20
+	defaultPCAPSGamma = 0.5
+)
+
+// policyFactory builds one fresh scheduler per run, seeded with the
+// cell's seed — scheduler instances carry per-run scratch and must not
+// be shared across cells.
+type policyFactory func(seed int64) sim.Scheduler
+
+// policyName resolves a policy's display label.
+func policyName(p PolicySpec) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.Kind
+}
+
+// compilePolicy lowers a validated PolicySpec to a constructor. The
+// spec has passed Validate, so unknown kinds are programming errors.
+func compilePolicy(p PolicySpec) (policyFactory, error) {
+	switch p.Kind {
+	case "fifo":
+		return func(int64) sim.Scheduler { return &sched.FIFO{} }, nil
+	case "kube-default":
+		return func(int64) sim.Scheduler { return sched.NewKubeDefault() }, nil
+	case "weighted-fair":
+		return func(int64) sim.Scheduler { return &sched.WeightedFair{} }, nil
+	case "decima":
+		return func(seed int64) sim.Scheduler { return sched.NewDecima(seed) }, nil
+	case "uniformpb":
+		return func(int64) sim.Scheduler { return &sched.UniformPB{} }, nil
+	case "greenhadoop":
+		return func(int64) sim.Scheduler { return sched.NewGreenHadoop() }, nil
+	case "cap":
+		b := p.B
+		if b <= 0 {
+			b = defaultCAPB
+		}
+		inner := PolicySpec{Kind: "fifo"}
+		if p.Inner != nil {
+			inner = *p.Inner
+		}
+		buildInner, err := compilePolicy(inner)
+		if err != nil {
+			return nil, err
+		}
+		return func(seed int64) sim.Scheduler { return sched.NewCAP(buildInner(seed), b) }, nil
+	case "pcaps":
+		gamma := p.Gamma
+		if gamma == 0 {
+			gamma = defaultPCAPSGamma
+		}
+		buildPB, err := compileProbabilistic(p.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return func(seed int64) sim.Scheduler { return sched.NewPCAPS(buildPB(seed), gamma, seed) }, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown policy kind %q", p.Kind)
+}
+
+// compileProbabilistic builds PCAPS's inner probabilistic policy
+// (decima by default).
+func compileProbabilistic(p *PolicySpec) (func(seed int64) sched.Probabilistic, error) {
+	kind := "decima"
+	if p != nil {
+		kind = p.Kind
+	}
+	switch kind {
+	case "decima":
+		return func(seed int64) sched.Probabilistic { return sched.NewDecima(seed) }, nil
+	case "uniformpb":
+		return func(int64) sched.Probabilistic { return &sched.UniformPB{} }, nil
+	}
+	return nil, fmt.Errorf("scenario: pcaps cannot wrap policy kind %q", kind)
+}
+
+// bindSweepValue instantiates the sweep's policy template at one
+// parameter value: cap sweeps B, pcaps sweeps γ.
+func bindSweepValue(template PolicySpec, value float64) PolicySpec {
+	switch template.Kind {
+	case "cap":
+		template.B = int(value)
+	case "pcaps":
+		template.Gamma = value
+	}
+	return template
+}
+
+// compileRouter lowers a RouterSpec to a fresh-router constructor
+// (routers carry per-run state; the federation engine Resets them, but
+// a new instance per run keeps cells independent under fan-out).
+func compileRouter(r RouterSpec) (func() fed.Router, error) {
+	switch r.Kind {
+	case "round-robin":
+		return func() fed.Router { return fed.NewRoundRobin() }, nil
+	case "lowest-intensity":
+		return func() fed.Router { return fed.NewLowestIntensity() }, nil
+	case "forecast-aware":
+		h := r.Hysteresis
+		return func() fed.Router {
+			fa := fed.NewForecastAware()
+			if h != 0 {
+				fa.Hysteresis = h
+			}
+			return fa
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown router kind %q", r.Kind)
+}
+
+// routerName resolves a router row's display label.
+func routerName(r RouterSpec) string {
+	if r.Name != "" {
+		return r.Name
+	}
+	return "fed:" + r.Kind
+}
