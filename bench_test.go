@@ -8,17 +8,24 @@
 package pcaps_test
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/carbonapi"
 	"pcaps/internal/dag"
 	"pcaps/internal/experiments"
 	"pcaps/internal/federation"
+	"pcaps/internal/placement"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
+	"pcaps/internal/workload"
 )
 
 // benchArtifact runs one artifact per benchmark iteration, fanning its
@@ -305,4 +312,141 @@ func BenchmarkFederationRouting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = r.Route(job, states)
 	}
+}
+
+// placementSnapshot builds one contended mid-run snapshot for the
+// placement benchmarks: several active jobs, a mix of busy and idle
+// executors, captured through the same Observer hook the placement
+// service's equivalence tests use.
+func placementSnapshot(b *testing.B) *sim.Snapshot {
+	b.Helper()
+	jobs := workload.Batch(workload.BatchConfig{N: 10, MeanInterarrival: 25, Mix: workload.MixBoth, Seed: 42})
+	tr := carbon.SynthesizeAll(48, 60, 42)["CAISO"]
+	var snap *sim.Snapshot
+	events := 0
+	cfg := sim.Config{
+		NumExecutors: 20,
+		Trace:        tr,
+		Seed:         42,
+		Observer: func(c *sim.Cluster) {
+			events++
+			if snap == nil && events >= 30 && c.BusyCount() > 0 && len(c.ActiveJobs()) > 1 {
+				snap = c.Snapshot()
+			}
+		},
+	}
+	if _, err := sim.Run(cfg, jobs, &sched.WeightedFair{}); err != nil {
+		b.Fatal(err)
+	}
+	if snap == nil {
+		b.Fatal("no snapshot captured")
+	}
+	return snap
+}
+
+var placementBenchSpecs = []sched.Spec{
+	{Kind: "fifo"},
+	{Kind: "decima"},
+	{Kind: "cap", B: sched.Int(10)},
+	{Kind: "pcaps", Gamma: sched.Float(0.9)},
+}
+
+// BenchmarkPlacementLocal measures the in-process decision path: one
+// Pick per iteration on an already restored cluster (the restore is
+// amortized setup, as it is for a server handling many policies on one
+// snapshot). One sub-benchmark per policy kind.
+func BenchmarkPlacementLocal(b *testing.B) {
+	snap := placementSnapshot(b)
+	for _, spec := range placementBenchSpecs {
+		f, err := sched.Default().New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster, err := snap.Restore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec.Kind, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := cluster.Place(f(42))
+				if p.Scheduler == "" {
+					b.Fatal("empty placement")
+				}
+			}
+		})
+	}
+	// restore measures the per-request snapshot decode cost the local
+	// sub-benchmarks amortize away.
+	b.Run("restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.Restore(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// reportLatencyPercentiles publishes p50/p99 of the collected per-call
+// latencies as benchmark metrics (milliseconds).
+func reportLatencyPercentiles(b *testing.B, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+}
+
+// BenchmarkPlacementHTTP measures the full wire path against an
+// in-process carbonapi server over a keep-alive connection: marshal the
+// request (snapshot included), POST /v1/placement, decode the decision.
+// The single variant posts one policy per request; the batch variant
+// amortizes the snapshot transfer over all four policies in one POST.
+func BenchmarkPlacementHTTP(b *testing.B) {
+	snap := placementSnapshot(b)
+	srv := httptest.NewServer(carbonapi.NewServer(nil, carbonapi.WithPlacements(&placement.Service{})))
+	defer srv.Close()
+	// One shared client: connection reuse across iterations is the
+	// deployment-realistic configuration (a scheduler polls repeatedly).
+	client := carbonapi.NewClient(srv.URL)
+	ctx := context.Background()
+
+	b.Run("single", func(b *testing.B) {
+		b.ReportAllocs()
+		lat := make([]time.Duration, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			p, err := client.Place(ctx, placementBenchSpecs[i%len(placementBenchSpecs)], 42, snap)
+			lat = append(lat, time.Since(start))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.Scheduler == "" {
+				b.Fatal("empty placement")
+			}
+		}
+		reportLatencyPercentiles(b, lat)
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		lat := make([]time.Duration, 0, b.N)
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			ps, err := client.PlaceBatch(ctx, placementBenchSpecs, 42, snap)
+			lat = append(lat, time.Since(start))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(ps) != len(placementBenchSpecs) {
+				b.Fatalf("got %d decisions, want %d", len(ps), len(placementBenchSpecs))
+			}
+		}
+		reportLatencyPercentiles(b, lat)
+	})
 }

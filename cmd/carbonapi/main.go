@@ -8,6 +8,7 @@
 //	carbonapi -addr :8585 -csv DE=de.csv   # replay a real trace
 //	carbonapi -addr :8585 -experiments=false  # trace endpoints only
 //	carbonapi -addr :8585 -scenarios=false    # no user scenario runs
+//	carbonapi -addr :8585 -placement=false    # no snapshot placement decisions
 //
 // Endpoints: /v1/grids, /v1/intensity, /v1/forecast, /v1/trace (all four
 // also reachable unprefixed for legacy pollers), plus /v1/experiments
@@ -15,7 +16,9 @@
 // runs returning structured JSON (internal/result encoding) — and
 // POST /v1/scenarios, which validates a user-supplied declarative
 // scenario spec (internal/scenario, JSON or YAML), runs it in fast
-// mode, and returns the structured artifact.
+// mode, and returns the structured artifact. POST /v1/placement answers
+// one scheduling decision per posted policy against a serialized
+// cluster snapshot (internal/placement).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"pcaps/internal/carbon"
 	"pcaps/internal/carbonapi"
 	"pcaps/internal/experiments"
+	"pcaps/internal/placement"
 	"pcaps/internal/scenario"
 )
 
@@ -41,6 +45,7 @@ func main() {
 		exps  = flag.Bool("experiments", true, "serve /v1/experiments (on-demand fast artifact runs)")
 		scens = flag.Bool("scenarios", true, "serve POST /v1/scenarios (on-demand fast user scenario runs)")
 		ext   = flag.Bool("scenario-external-sources", false, "allow csv/carbonapi carbon sources in POSTed scenarios (reads server files / dials out)")
+		place = flag.Bool("placement", true, "serve POST /v1/placement (policy decisions on posted cluster snapshots)")
 	)
 	flag.Parse()
 
@@ -80,6 +85,10 @@ func main() {
 			AllowExternalSources: *ext,
 		}))
 		fmt.Printf("serving user scenarios under POST /v1/scenarios\n")
+	}
+	if *place {
+		opts = append(opts, carbonapi.WithPlacements(&placement.Service{}))
+		fmt.Printf("serving policy decisions under POST /v1/placement\n")
 	}
 	fmt.Printf("serving carbon-intensity API on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, carbonapi.NewServer(traces, opts...)))

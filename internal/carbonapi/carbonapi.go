@@ -11,6 +11,7 @@
 //	GET /v1/experiments                   → {"experiments": [{id, title}, ...]}
 //	GET /v1/experiments/{id}              → run the artifact, structured JSON out
 //	POST /v1/scenarios                    → validate + run a scenario spec (fast mode)
+//	POST /v1/placement                    → one scheduling decision per policy on a snapshot
 //
 // The /v1/ prefix is the versioned surface: new endpoints appear only
 // under it, and breaking changes would land under a /v2/ prefix instead
@@ -83,6 +84,7 @@ type Server struct {
 	traces      map[string]*carbon.Trace
 	experiments Experiments
 	scenarios   Scenarios
+	placements  Placements
 	mux         *http.ServeMux
 }
 
@@ -120,6 +122,7 @@ func NewServer(traces map[string]*carbon.Trace, opts ...Option) *Server {
 	s.mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("/v1/experiments/{id}", s.handleExperimentRun)
 	s.mux.HandleFunc("POST /v1/scenarios", s.handleScenarioRun)
+	s.mux.HandleFunc("POST /v1/placement", s.handlePlacement)
 	return s
 }
 

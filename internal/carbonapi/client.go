@@ -12,7 +12,18 @@ import (
 
 	"pcaps/internal/carbon"
 	"pcaps/internal/result"
+	"pcaps/internal/sched"
+	"pcaps/internal/sim"
 )
+
+// defaultTimeout bounds one ordinary request (trace polls, placement
+// decisions) when the caller has not supplied an HTTPClient. Long
+// synchronous operations raise it through longRunningClient.
+const defaultTimeout = 5 * time.Second
+
+// scenarioRunTimeout is the floor for POST /v1/scenarios, which
+// synchronously runs a whole fast-mode scenario server-side.
+const scenarioRunTimeout = 120 * time.Second
 
 // Client talks to a carbon-intensity API server. It mirrors the Python
 // daemon of the paper's prototype (§5.1), which polls an external carbon
@@ -20,13 +31,37 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8585".
 	BaseURL string
-	// HTTPClient defaults to a client with a 5-second timeout.
+	// HTTPClient defaults to a client with the defaultTimeout.
 	HTTPClient *http.Client
 }
 
 // NewClient returns a client for the given base URL.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 5 * time.Second}}
+	return &Client{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: defaultTimeout}}
+}
+
+// httpClient returns the configured HTTP client, or one with the
+// documented default timeout when none is set.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: defaultTimeout}
+}
+
+// longRunningClient returns an HTTP client whose timeout is at least
+// floor: a caller-supplied longer (or unlimited, 0) timeout is
+// respected as-is; a shorter one is raised on a shallow copy, so
+// transport and cookies are preserved. Callers needing a *shorter*
+// bound pass a context deadline instead.
+func (c *Client) longRunningClient(floor time.Duration) *http.Client {
+	hc := c.httpClient()
+	if hc.Timeout == 0 || hc.Timeout >= floor {
+		return hc
+	}
+	cp := *hc
+	cp.Timeout = floor
+	return &cp
 }
 
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
@@ -35,11 +70,30 @@ func (c *Client) get(ctx context.Context, path string, q url.Values, out any) er
 	if err != nil {
 		return err
 	}
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
 	}
-	resp, err := hc.Do(req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("carbonapi: %s: %s: %s", path, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON POSTs v as JSON and decodes the 200 response into out.
+func (c *Client) postJSON(ctx context.Context, path string, v, out any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
 	}
@@ -112,21 +166,9 @@ func (c *Client) RunScenario(ctx context.Context, spec []byte) (*result.Artifact
 	}
 	req.Header.Set("Content-Type", "application/json")
 	// The endpoint synchronously runs a whole (fast-mode) scenario; the
-	// 5-second poll timeout the trace endpoints (and NewClient) default
-	// to would abandon legitimate runs mid-simulation while the server
-	// keeps computing. Raise a too-short timeout on a shallow copy —
-	// transport and cookies are preserved, a caller's *longer* timeout
-	// wins, and a caller needing a shorter bound passes a context
-	// deadline.
-	hc := &http.Client{Timeout: 120 * time.Second}
-	if c.HTTPClient != nil {
-		cp := *c.HTTPClient
-		if cp.Timeout > 0 && cp.Timeout < 120*time.Second {
-			cp.Timeout = 120 * time.Second
-		}
-		hc = &cp
-	}
-	resp, err := hc.Do(req)
+	// default poll timeout would abandon legitimate runs mid-simulation
+	// while the server keeps computing.
+	resp, err := c.longRunningClient(scenarioRunTimeout).Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +182,31 @@ func (c *Client) RunScenario(ctx context.Context, spec []byte) (*result.Artifact
 		return nil, err
 	}
 	return &art, nil
+}
+
+// Place asks the server for one scheduling decision: which stage (and
+// executors) the named policy would pick on the given cluster snapshot.
+// The server validates the spec and snapshot (400 on rejection, naming
+// the offending field).
+func (c *Client) Place(ctx context.Context, policy sched.Spec, seed int64, snap *sim.Snapshot) (*sim.Placement, error) {
+	var out sim.Placement
+	req := PlacementRequest{Policy: &policy, Seed: seed, Snapshot: snap}
+	if err := c.postJSON(ctx, "/v1/placement", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PlaceBatch asks for one independent decision per policy on the same
+// snapshot — a policy comparison in a single round-trip. Decisions
+// return in request order.
+func (c *Client) PlaceBatch(ctx context.Context, policies []sched.Spec, seed int64, snap *sim.Snapshot) ([]sim.Placement, error) {
+	var out PlacementResponse
+	req := PlacementRequest{Policies: policies, Seed: seed, Snapshot: snap}
+	if err := c.postJSON(ctx, "/v1/placement", &req, &out); err != nil {
+		return nil, err
+	}
+	return out.Decisions, nil
 }
 
 // FetchTrace downloads a window of n samples starting at experiment time

@@ -3,6 +3,7 @@ package experiments
 import (
 	"pcaps/internal/result"
 	"pcaps/internal/scenario"
+	"pcaps/internal/sched"
 )
 
 func init() {
@@ -51,7 +52,7 @@ func federationTable(opt Options) (*result.Artifact, error) {
 				{Name: "fed:lowest-intensity", Kind: "lowest-intensity"},
 				{Name: "fed:forecast-aware", Kind: "forecast-aware"},
 				{Name: "fed:forecast+CAP", Kind: "forecast-aware",
-					Policy: &scenario.PolicySpec{Kind: "cap", B: 20, Inner: &scenario.PolicySpec{Kind: "fifo"}}},
+					Policy: &scenario.PolicySpec{Kind: "cap", B: sched.Int(20), Inner: &scenario.PolicySpec{Kind: "fifo"}}},
 			},
 		},
 		Notes: []string{

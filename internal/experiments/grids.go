@@ -3,6 +3,7 @@ package experiments
 import (
 	"pcaps/internal/result"
 	"pcaps/internal/scenario"
+	"pcaps/internal/sched"
 	"pcaps/internal/workload"
 )
 
@@ -43,8 +44,8 @@ func fig10(opt Options) (*result.Artifact, error) {
 		scenario.PolicySpec{Kind: "kube-default"},
 		[]scenario.PolicySpec{
 			{Name: "Decima", Kind: "decima"},
-			{Name: "CAP", Kind: "cap", B: 20, Inner: &scenario.PolicySpec{Kind: "kube-default"}},
-			{Name: "PCAPS", Kind: "pcaps", Gamma: 0.5, Inner: &scenario.PolicySpec{Kind: "decima"}},
+			{Name: "CAP", Kind: "cap", B: sched.Int(20), Inner: &scenario.PolicySpec{Kind: "kube-default"}},
+			{Name: "PCAPS", Kind: "pcaps", Gamma: sched.Float(0.5), Inner: &scenario.PolicySpec{Kind: "decima"}},
 		},
 		"paper: variable grids (CAISO, ON, DE) yield the largest reductions and ECT costs; flat ZA yields minimal change; Decima is ~flat everywhere\n"))
 }
@@ -56,8 +57,8 @@ func fig14(opt Options) (*result.Artifact, error) {
 		scenario.PolicySpec{Kind: "fifo"},
 		[]scenario.PolicySpec{
 			{Name: "Decima", Kind: "decima"},
-			{Name: "CAP-FIFO", Kind: "cap", B: 20, Inner: &scenario.PolicySpec{Kind: "fifo"}},
-			{Name: "PCAPS", Kind: "pcaps", Gamma: 0.5, Inner: &scenario.PolicySpec{Kind: "decima"}},
+			{Name: "CAP-FIFO", Kind: "cap", B: sched.Int(20), Inner: &scenario.PolicySpec{Kind: "fifo"}},
+			{Name: "PCAPS", Kind: "pcaps", Gamma: sched.Float(0.5), Inner: &scenario.PolicySpec{Kind: "decima"}},
 		},
 		"paper: same grid ordering as Fig 10, with Decima's baseline reduction higher than in the prototype (A.1.2)\n"))
 }

@@ -10,6 +10,7 @@ import (
 
 	"pcaps/internal/carbon"
 	"pcaps/internal/carbonapi"
+	"pcaps/internal/sched"
 )
 
 func renderText(t *testing.T, p *Program, env Env) string {
@@ -29,7 +30,7 @@ func TestRunSerialParallelDeterminism(t *testing.T) {
 			Name: "cmp", Grids: []string{"DE", "ON"}, Trials: 2,
 			Workload: WorkloadSpec{Mix: "tpch", Jobs: 8},
 			Baseline: &PolicySpec{Kind: "fifo"},
-			Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: 10}, {Name: "PCAPS", Kind: "pcaps"}},
+			Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: sched.Int(10)}, {Name: "PCAPS", Kind: "pcaps"}},
 		},
 		{
 			Name: "swp", Grids: nil, Workload: WorkloadSpec{Mix: "tpch", Jobs: 8},
@@ -85,7 +86,7 @@ func TestCSVSource(t *testing.T) {
 		Clusters: []ClusterSpec{{Name: "replay", Grid: "ON", Source: "csv", CSV: path}},
 		Workload: WorkloadSpec{Mix: "tpch", Jobs: 6},
 		Baseline: &PolicySpec{Kind: "fifo"},
-		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: 10}},
+		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: sched.Int(10)}},
 	}
 	prog, err := Compile(s)
 	if err != nil {
@@ -146,7 +147,7 @@ func TestCarbonPriceColumn(t *testing.T) {
 		Name: "p", Grids: []string{"DE"},
 		Workload: WorkloadSpec{Mix: "tpch", Jobs: 6},
 		Baseline: &PolicySpec{Kind: "fifo"},
-		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: 10}},
+		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: sched.Int(10)}},
 	}
 	unpriced, err := Compile(base)
 	if err != nil {
@@ -200,7 +201,7 @@ func TestMetricSelection(t *testing.T) {
 		Name: "m", Grids: []string{"DE"},
 		Workload: WorkloadSpec{Mix: "tpch", Jobs: 6},
 		Baseline: &PolicySpec{Kind: "fifo"},
-		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: 10}},
+		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: sched.Int(10)}},
 		Metrics:  []string{MetricRelativeECT},
 	}
 	prog, err := Compile(s)
@@ -225,7 +226,7 @@ func TestRunReportsSourceFailure(t *testing.T) {
 		Clusters: []ClusterSpec{{Name: "x", Grid: "DE", Source: "csv", CSV: filepath.Join(t.TempDir(), "missing.csv")}},
 		Workload: WorkloadSpec{Mix: "tpch", Jobs: 4},
 		Baseline: &PolicySpec{Kind: "fifo"},
-		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: 10}},
+		Policies: []PolicySpec{{Name: "CAP", Kind: "cap", B: sched.Int(10)}},
 	}
 	prog, err := Compile(s)
 	if err != nil {

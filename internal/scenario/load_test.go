@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"pcaps/internal/sched"
 )
 
 const yamlSpec = `
@@ -44,8 +46,8 @@ func TestParseYAMLSpec(t *testing.T) {
 		Trials:   2,
 		Baseline: &PolicySpec{Kind: "fifo"},
 		Policies: []PolicySpec{
-			{Name: "PCAPS", Kind: "pcaps", Gamma: 0.75, Inner: &PolicySpec{Kind: "decima"}},
-			{Kind: "cap", B: 10},
+			{Name: "PCAPS", Kind: "pcaps", Gamma: sched.Float(0.75), Inner: &PolicySpec{Kind: "decima"}},
+			{Kind: "cap", B: sched.Int(10)},
 		},
 		Notes: []string{"line one\n"},
 	}

@@ -5,20 +5,13 @@ import (
 
 	fed "pcaps/internal/federation"
 	"pcaps/internal/sched"
-	"pcaps/internal/sim"
-)
-
-// Defaults applied when a policy omits its parameter; the paper's
-// mid-range settings (CAP B=20 as in Figs. 10/14, PCAPS γ=0.5).
-const (
-	defaultCAPB       = 20
-	defaultPCAPSGamma = 0.5
 )
 
 // policyFactory builds one fresh scheduler per run, seeded with the
 // cell's seed — scheduler instances carry per-run scratch and must not
-// be shared across cells.
-type policyFactory func(seed int64) sim.Scheduler
+// be shared across cells. It is the registry's factory type; the alias
+// keeps the compile call sites readable.
+type policyFactory = sched.Factory
 
 // policyName resolves a policy's display label.
 func policyName(p PolicySpec) string {
@@ -28,74 +21,39 @@ func policyName(p PolicySpec) string {
 	return p.Kind
 }
 
-// compilePolicy lowers a validated PolicySpec to a constructor. The
-// spec has passed Validate, so unknown kinds are programming errors.
-func compilePolicy(p PolicySpec) (policyFactory, error) {
-	switch p.Kind {
-	case "fifo":
-		return func(int64) sim.Scheduler { return &sched.FIFO{} }, nil
-	case "kube-default":
-		return func(int64) sim.Scheduler { return sched.NewKubeDefault() }, nil
-	case "weighted-fair":
-		return func(int64) sim.Scheduler { return &sched.WeightedFair{} }, nil
-	case "decima":
-		return func(seed int64) sim.Scheduler { return sched.NewDecima(seed) }, nil
-	case "uniformpb":
-		return func(int64) sim.Scheduler { return &sched.UniformPB{} }, nil
-	case "greenhadoop":
-		return func(int64) sim.Scheduler { return sched.NewGreenHadoop() }, nil
-	case "cap":
-		b := p.B
-		if b <= 0 {
-			b = defaultCAPB
-		}
-		inner := PolicySpec{Kind: "fifo"}
-		if p.Inner != nil {
-			inner = *p.Inner
-		}
-		buildInner, err := compilePolicy(inner)
-		if err != nil {
-			return nil, err
-		}
-		return func(seed int64) sim.Scheduler { return sched.NewCAP(buildInner(seed), b) }, nil
-	case "pcaps":
-		gamma := p.Gamma
-		if gamma == 0 {
-			gamma = defaultPCAPSGamma
-		}
-		buildPB, err := compileProbabilistic(p.Inner)
-		if err != nil {
-			return nil, err
-		}
-		return func(seed int64) sim.Scheduler { return sched.NewPCAPS(buildPB(seed), gamma, seed) }, nil
+// sched lowers the scenario shape (which adds a display name per node)
+// to the registry's Spec.
+func (p PolicySpec) sched() sched.Spec {
+	s := sched.Spec{Kind: p.Kind, B: p.B, Gamma: p.Gamma}
+	if p.Inner != nil {
+		inner := p.Inner.sched()
+		s.Inner = &inner
 	}
-	return nil, fmt.Errorf("scenario: unknown policy kind %q", p.Kind)
+	return s
 }
 
-// compileProbabilistic builds PCAPS's inner probabilistic policy
-// (decima by default).
-func compileProbabilistic(p *PolicySpec) (func(seed int64) sched.Probabilistic, error) {
-	kind := "decima"
-	if p != nil {
-		kind = p.Kind
+// compilePolicy lowers a validated PolicySpec to a constructor through
+// the shared policy registry — the same table the placement service
+// builds from, so defaults and inner wiring cannot drift between the
+// two surfaces. The spec has passed Validate, so a rejection here is a
+// programming error.
+func compilePolicy(p PolicySpec) (policyFactory, error) {
+	f, err := sched.Default().New(p.sched())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: compiling policy %q: %w", policyName(p), err)
 	}
-	switch kind {
-	case "decima":
-		return func(seed int64) sched.Probabilistic { return sched.NewDecima(seed) }, nil
-	case "uniformpb":
-		return func(int64) sched.Probabilistic { return &sched.UniformPB{} }, nil
-	}
-	return nil, fmt.Errorf("scenario: pcaps cannot wrap policy kind %q", kind)
+	return f, nil
 }
 
 // bindSweepValue instantiates the sweep's policy template at one
-// parameter value: cap sweeps B, pcaps sweeps γ.
+// parameter value, bound to the parameter the kind's registry entry
+// exposes (cap → B, pcaps → γ).
 func bindSweepValue(template PolicySpec, value float64) PolicySpec {
-	switch template.Kind {
-	case "cap":
-		template.B = int(value)
-	case "pcaps":
-		template.Gamma = value
+	switch sched.Default().SweepParam(template.Kind) {
+	case "b":
+		template.B = sched.Int(int(value))
+	case "gamma":
+		template.Gamma = sched.Float(value)
 	}
 	return template
 }

@@ -21,11 +21,13 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"pcaps/internal/carbon"
+	"pcaps/internal/sched"
 )
 
 // Spec is one declarative scenario. The zero fields of the optional
@@ -135,10 +137,16 @@ type PolicySpec struct {
 	// Kind is one of fifo, kube-default, weighted-fair, decima,
 	// uniformpb, greenhadoop, cap, pcaps.
 	Kind string `json:"kind"`
-	// B is CAP's minimum machine quota (0: 20).
-	B int `json:"b,omitempty"`
-	// Gamma is PCAPS's carbon-awareness parameter in (0, 1] (0: 0.5).
-	Gamma float64 `json:"gamma,omitempty"`
+	// B is CAP's minimum machine quota, at least 1. Omitted (nil) means
+	// the registry default (sched.DefaultCAPB = 20); an explicit 0 is
+	// rejected rather than silently selecting the default. Use
+	// sched.Int for literals.
+	B *int `json:"b,omitempty"`
+	// Gamma is PCAPS's carbon-awareness parameter in (0, 1]. Omitted
+	// (nil) means the registry default (sched.DefaultPCAPSGamma = 0.5);
+	// an explicit 0 is rejected rather than silently selecting the
+	// default. Use sched.Float for literals.
+	Gamma *float64 `json:"gamma,omitempty"`
 	// Inner is the policy CAP wraps (default fifo) or the probabilistic
 	// policy PCAPS interfaces with (decima or uniformpb; default
 	// decima).
@@ -204,15 +212,14 @@ type EngineSpec struct {
 	IdleTimeoutSec float64 `json:"idle_timeout_sec,omitempty"`
 }
 
-// Known enumerations, used by validation and by error messages.
+// Known enumerations, used by validation and by error messages. Policy
+// kinds are not listed here: the sched.Default registry is their single
+// source of truth.
 var (
-	policyKinds = []string{"fifo", "kube-default", "weighted-fair", "decima", "uniformpb", "greenhadoop", "cap", "pcaps"}
-	probKinds   = []string{"decima", "uniformpb"}
 	routerKinds = []string{"round-robin", "lowest-intensity", "forecast-aware"}
 	sourceKinds = []string{"synth", "csv", "carbonapi"}
 	mixKinds    = []string{"tpch", "alibaba", "both"}
 	metricKinds = []string{MetricCarbonReduction, MetricRelativeECT, MetricCostUSD}
-	sweepable   = []string{"cap", "pcaps"}
 )
 
 // Metric names Spec.Metrics selects among.
@@ -237,48 +244,16 @@ func fieldErr(field, format string, args ...any) error {
 	return fmt.Errorf("scenario: %s: %s", field, fmt.Sprintf(format, args...))
 }
 
+// validatePolicy delegates the parameter checks to the shared policy
+// registry (the same table compilePolicy builds from), relocating the
+// registry's relative field paths under this spec's field.
 func validatePolicy(field string, p PolicySpec) error {
-	if p.Kind == "" {
-		return fieldErr(field+".kind", "missing policy kind (have %s)", strings.Join(policyKinds, ", "))
-	}
-	if !oneOf(p.Kind, policyKinds) {
-		return fieldErr(field+".kind", "unknown policy kind %q (have %s)", p.Kind, strings.Join(policyKinds, ", "))
-	}
-	if p.B < 0 {
-		return fieldErr(field+".b", "negative CAP quota %d", p.B)
-	}
-	if p.Gamma < 0 || p.Gamma > 1 {
-		return fieldErr(field+".gamma", "gamma %v outside (0, 1]", p.Gamma)
-	}
-	// A parameter on a kind that does not consume it would be silently
-	// dropped; reject it like every other inapplicable knob.
-	if p.B != 0 && p.Kind != "cap" {
-		return fieldErr(field+".b", "policy kind %q takes no CAP quota", p.Kind)
-	}
-	if p.Gamma != 0 && p.Kind != "pcaps" {
-		return fieldErr(field+".gamma", "policy kind %q takes no gamma", p.Kind)
-	}
-	switch p.Kind {
-	case "cap":
-		if p.Inner != nil {
-			return validatePolicy(field+".inner", *p.Inner)
+	if err := sched.Default().Check(p.sched()); err != nil {
+		var pe *sched.ParamError
+		if errors.As(err, &pe) {
+			return fieldErr(field+"."+pe.Field, "%s", pe.Msg)
 		}
-	case "pcaps":
-		if p.Inner != nil {
-			if !oneOf(p.Inner.Kind, probKinds) {
-				return fieldErr(field+".inner.kind", "pcaps wraps a probabilistic policy (have %s), got %q",
-					strings.Join(probKinds, ", "), p.Inner.Kind)
-			}
-			// Only the inner kind is consumed; any other knob on it
-			// would be silently dropped.
-			if p.Inner.B != 0 || p.Inner.Gamma != 0 || p.Inner.Inner != nil {
-				return fieldErr(field+".inner", "a pcaps inner policy takes only a kind")
-			}
-		}
-	default:
-		if p.Inner != nil {
-			return fieldErr(field+".inner", "policy kind %q takes no inner policy", p.Kind)
-		}
+		return fieldErr(field, "%v", err)
 	}
 	return nil
 }
@@ -488,21 +463,22 @@ func (s *Spec) validateSweep() error {
 	if err := validatePolicy("sweep.policy", sw.Policy); err != nil {
 		return err
 	}
-	if !oneOf(sw.Policy.Kind, sweepable) {
+	param := sched.Default().SweepParam(sw.Policy.Kind)
+	if param == "" {
 		return fieldErr("sweep.policy.kind", "kind %q has no sweepable parameter (have %s)",
-			sw.Policy.Kind, strings.Join(sweepable, ", "))
+			sw.Policy.Kind, strings.Join(sched.Default().Sweepable(), ", "))
 	}
 	// Each bound value must itself be a valid parameter; in particular
-	// the kinds' zero-means-default rule would otherwise silently run
-	// the default under a row labeled 0.
+	// an out-of-range value would otherwise be rejected only at compile
+	// time, without the sweep row's field path.
 	for i, v := range sw.Values {
 		field := fmt.Sprintf("sweep.values[%d]", i)
-		switch sw.Policy.Kind {
-		case "pcaps":
+		switch param {
+		case "gamma":
 			if v <= 0 || v > 1 {
 				return fieldErr(field, "gamma %v outside (0, 1]", v)
 			}
-		case "cap":
+		case "b":
 			if v < 1 {
 				return fieldErr(field, "CAP quota %v below 1", v)
 			}

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"pcaps/internal/sched"
 )
 
 // validComparison returns a minimal passing comparison spec tests
@@ -78,8 +80,16 @@ func TestValidateRejects(t *testing.T) {
 			s.Policies = []PolicySpec{{Kind: "fifo", Inner: &PolicySpec{Kind: "fifo"}}}
 		}, []string{"policies[0].inner", "takes no inner policy"}},
 		{"gamma out of range", func(s *Spec) {
-			s.Policies = []PolicySpec{{Kind: "pcaps", Gamma: 1.5}}
+			s.Policies = []PolicySpec{{Kind: "pcaps", Gamma: sched.Float(1.5)}}
 		}, []string{"policies[0].gamma", "outside"}},
+		// Explicit zeros are errors, never a silent rebind to the default
+		// (the pointer params exist to make that distinction).
+		{"explicit zero gamma", func(s *Spec) {
+			s.Policies = []PolicySpec{{Kind: "pcaps", Gamma: sched.Float(0)}}
+		}, []string{"policies[0].gamma", "gamma 0 outside (0, 1]"}},
+		{"explicit zero b", func(s *Spec) {
+			s.Policies = []PolicySpec{{Kind: "cap", B: sched.Int(0)}}
+		}, []string{"policies[0].b", "CAP quota 0 below 1"}},
 		{"unknown metric", func(s *Spec) { s.Metrics = []string{"qps"} }, []string{"metrics[0]", `unknown metric "qps"`}},
 		{"cost metric without price", func(s *Spec) {
 			s.Metrics = []string{MetricCostUSD}
@@ -146,13 +156,13 @@ func TestValidateRejects(t *testing.T) {
 			}
 		}, []string{"federation.routers[0].name", "reserved"}},
 		{"gamma on non-pcaps policy", func(s *Spec) {
-			s.Policies = []PolicySpec{{Kind: "cap", Gamma: 0.9}}
+			s.Policies = []PolicySpec{{Kind: "cap", Gamma: sched.Float(0.9)}}
 		}, []string{"policies[0].gamma", "takes no gamma"}},
 		{"b on non-cap policy", func(s *Spec) {
-			s.Policies = []PolicySpec{{Kind: "pcaps", B: 5}}
+			s.Policies = []PolicySpec{{Kind: "pcaps", B: sched.Int(5)}}
 		}, []string{"policies[0].b", "takes no CAP quota"}},
 		{"knobs on pcaps inner", func(s *Spec) {
-			s.Policies = []PolicySpec{{Kind: "pcaps", Inner: &PolicySpec{Kind: "decima", Gamma: 0.9}}}
+			s.Policies = []PolicySpec{{Kind: "pcaps", Inner: &PolicySpec{Kind: "decima", Gamma: sched.Float(0.9)}}}
 		}, []string{"policies[0].inner", "only a kind"}},
 		{"duplicate metric", func(s *Spec) {
 			s.Metrics = []string{MetricRelativeECT, MetricRelativeECT}
@@ -209,7 +219,7 @@ func TestValidateAccepts(t *testing.T) {
 			},
 			Workload: WorkloadSpec{Mix: "both", Jobs: 4},
 			Baseline: &PolicySpec{Kind: "fifo"},
-			Policies: []PolicySpec{{Kind: "cap", B: 10}},
+			Policies: []PolicySpec{{Kind: "cap", B: sched.Int(10)}},
 		},
 	}
 	for name, s := range specs {

@@ -101,6 +101,12 @@ type Config struct {
 	// executor-seconds per carbon interval (Result.JobUsage) — the
 	// per-job shading of the paper's occupancy plots (Fig. 6).
 	TrackJobUsage bool
+	// Observer, when non-nil, is invoked after each event's scheduling
+	// pass completes, with the cluster in a consistent scheduler-visible
+	// state — the capture point for Cluster.Snapshot exports. The
+	// callback must not mutate cluster state and must not retain the
+	// view slices across calls; Snapshot itself copies what it needs.
+	Observer func(c *Cluster)
 }
 
 // StageRun is the runtime state of one stage of one job.
@@ -501,6 +507,9 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 		}
 		if err := c.schedule(s); err != nil {
 			return nil, err
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(c)
 		}
 		if !c.unfinished() && c.noTaskPending() {
 			break
