@@ -19,7 +19,7 @@ vet:
 # performance trajectory started in BENCH_1.json (BENCH_<n>.json per PR
 # that touches the hot path). Human-readable output goes to the terminal
 # via the test summary inside the JSON events.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -json . > $(BENCH_OUT)

@@ -22,6 +22,7 @@ import (
 	"pcaps/internal/dag"
 	"pcaps/internal/experiments"
 	"pcaps/internal/federation"
+	"pcaps/internal/optimal"
 	"pcaps/internal/placement"
 	"pcaps/internal/sched"
 	"pcaps/internal/sim"
@@ -312,6 +313,102 @@ func BenchmarkFederationRouting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = r.Route(job, states)
 	}
+}
+
+// Solver microbenchmarks: the Fig. 1 fork-join instance (the largest DP
+// the artifact suite solves) exercised directly, with allocs/op
+// reported. These pin the packed-state scratch discipline in
+// internal/optimal: the whole search should reuse the solver's
+// preallocated buffers, so allocs/op stays flat as b.N grows.
+
+// benchInstance rebuilds the Fig. 1 motivating instance: a fork-join DAG
+// with a long bottleneck chain, K=4 machines, and an 18-hour carbon
+// trace with a pronounced early peak.
+func benchInstance() optimal.Instance {
+	bld := dag.NewBuilder(0, "bench-opt")
+	src := bld.Stage("src", 1, 1)
+	sink := bld.Stage("sink", 1, 2)
+	for i := 0; i < 6; i++ {
+		side := bld.Stage(fmt.Sprintf("side%d", i), 1, 2)
+		bld.Edge(src, side).Edge(side, sink)
+	}
+	green := bld.Stage("green", 1, 3)
+	purple := bld.Stage("purple", 1, 3)
+	bld.Edge(src, green).Edge(green, purple).Edge(purple, sink)
+	carbonTrace := []float64{
+		250, 380, 520, 650, 650, 600, 450, 350, 280,
+		230, 210, 200, 200, 210, 230, 260, 300, 340,
+	}
+	return optimal.Instance{Job: bld.MustBuild(), K: 4, Carbon: carbonTrace, Deadline: 18}
+}
+
+// BenchmarkTOpt times the makespan-optimal DP (time-optimal schedule)
+// on the motivating instance.
+func BenchmarkTOpt(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		local := inst
+		local.Job = inst.Job.Clone()
+		if _, err := optimal.TOpt(local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCOpt times the carbon-optimal DP under the 18-hour deadline —
+// the most expensive single solve in the artifact suite.
+func BenchmarkCOpt(b *testing.B) {
+	inst := benchInstance()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		local := inst
+		local.Job = inst.Job.Clone()
+		if _, err := optimal.COpt(local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepPrefixReuse measures the common-prefix group runner
+// against the same sweep run policy-by-policy: one Decima baseline plus
+// PCAPS at five γ settings over a shared (config, jobs) cell — the fig13
+// frontier shape. The group variant simulates the shared decision prefix
+// once and forks at the first divergent decision; the sequential variant
+// re-simulates from scratch per policy. Their results are byte-identical
+// (TestRunGroupMatchesSequential); the ns/op ratio is the prefix-reuse
+// speedup.
+func BenchmarkSweepPrefixReuse(b *testing.B) {
+	gammas := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	mkScheds := func(seed int64) []sim.Scheduler {
+		scheds := []sim.Scheduler{sched.NewDecima(seed)}
+		for _, g := range gammas {
+			scheds = append(scheds, sched.NewPCAPS(sched.NewDecima(seed), g, seed))
+		}
+		return scheds
+	}
+	cfg := benchTrace(b)
+	cfg.Seed = 42
+	jobs := schedBatch(40, 8, 4, 5, 40)
+
+	b.Run("group", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunGroup(cfg, jobs, mkScheds(cfg.Seed)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range mkScheds(cfg.Seed) {
+				if _, err := sim.Run(cfg, jobs, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // placementSnapshot builds one contended mid-run snapshot for the

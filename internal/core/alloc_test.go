@@ -1,0 +1,52 @@
+//go:build !race
+
+package core
+
+import "testing"
+
+// TestHotPathsAllocationFree pins the zero-allocation discipline of the
+// per-decision analysis paths: the Ψ filter, the CAP quota lookup, and
+// the Theorem 4.4 decomposition all run inside scheduler Picks or
+// artifact folds, so a single stray allocation multiplies by millions of
+// simulation events. Compiled out under -race, whose instrumentation
+// perturbs allocation counts.
+func TestHotPathsAllocationFree(t *testing.T) {
+	psi := mustPsi(t, 0.7, 130, 765)
+	cap20, err := NewCAP(100, 20, 130, 765)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agnostic := []float64{40, 60, 80, 30, 0, 0}
+	aware := []float64{40, 30, 50, 30, 20, 10}
+	intensity := []float64{300, 500, 650, 400, 250, 200}
+	probs := []float64{0.1, 0.3, 0.25, 0.2, 0.15}
+
+	var f float64
+	var n int
+	var d SavingsDecomposition
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Psi.Value", func() { f = psi.Value(0.37) }},
+		{"Psi.Admits", func() {
+			if psi.Admits(0.37, 400) {
+				n++
+			}
+		}},
+		{"Psi.ParallelismLimit", func() { n = psi.ParallelismLimit(8, 400) }},
+		{"RelativeImportance", func() { f = RelativeImportance(probs, 2) }},
+		{"CAP.Quota", func() { n = cap20.Quota(412) }},
+		{"CAP.ParallelismLimit", func() { n = cap20.ParallelismLimit(8, 412) }},
+		{"DecomposeSavings", func() { d = DecomposeSavings(agnostic, aware, intensity) }},
+		{"DeferralFraction", func() { f = DeferralFraction(120, 480) }},
+		{"UtilizationFromUsage", func() { f = UtilizationFromUsage(aware, 60, 100) }},
+		{"ConditionalUtilization", func() { f = ConditionalUtilization(aware, intensity, 60, 100, 400, 700) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(200, tc.fn); avg != 0 {
+			t.Errorf("%s allocates %.1f per call; hot paths must stay allocation-free", tc.name, avg)
+		}
+	}
+	_, _, _ = f, n, d
+}

@@ -79,11 +79,14 @@ func runAxis(opt Options, label string, proto bool, mix workload.Mix,
 			baseSched = sched.NewKubeDefault()
 			capInner = func() sim.Scheduler { return sched.NewKubeDefault() }
 		}
+		// Grouped by shared decision prefix (see mustRunGroup): the CAP
+		// wrapper with its inner policy, PCAPS with its Decima base.
+		g := mustRunGroup(cfg, jobs, baseSched, sched.NewCAP(capInner(), 20))
+		p := mustRunGroup(cfg, jobs,
+			sched.NewDecima(seed), sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
 		runs[i] = map[string]*sim.Result{
-			"":       mustRun(cfg, jobs, baseSched),
-			"Decima": mustRun(cfg, jobs, sched.NewDecima(seed)),
-			"CAP":    mustRun(cfg, jobs, sched.NewCAP(capInner(), 20)),
-			"PCAPS":  mustRun(cfg, jobs, sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+			"": g[0], "CAP": g[1],
+			"Decima": p[0], "PCAPS": p[1],
 		}
 	})
 	for i, c := range cells {

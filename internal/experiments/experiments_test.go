@@ -154,8 +154,11 @@ func maskTimings(s string) string {
 
 // TestSerialParallelDeterminism is the regression gate for the parallel
 // experiment engine: for every artifact, the serial path (Parallel: 1)
-// and the fanned-out path (Parallel: 4) must produce byte-identical
-// report bodies at the same seed. fig20's measured latencies are masked;
+// must produce byte-identical report bodies at the same seed across the
+// fanned-out worker counts the CLI exposes (Parallel: 2, 4, and 0 —
+// GOMAXPROCS). With the common-prefix group runner underneath, this also
+// proves that forked sweep cells land on the same bytes regardless of
+// which worker simulates them. fig20's measured latencies are masked;
 // its structure must still match byte-for-byte.
 func TestSerialParallelDeterminism(t *testing.T) {
 	for _, id := range IDs() {
@@ -166,16 +169,22 @@ func TestSerialParallelDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatalf("serial Run(%s): %v", id, err)
 			}
-			par, err := Run(id, Options{Fast: true, Seed: 42, Parallel: 4})
-			if err != nil {
-				t.Fatalf("parallel Run(%s): %v", id, err)
-			}
-			sb, pb := serial.Body(), par.Body()
+			sb := serial.Body()
 			if id == "fig20" {
-				sb, pb = maskTimings(sb), maskTimings(pb)
+				sb = maskTimings(sb)
 			}
-			if sb != pb {
-				t.Fatalf("serial and parallel bodies differ for %s:\n--- serial ---\n%s\n--- parallel ---\n%s", id, sb, pb)
+			for _, workers := range []int{2, 4, 0} {
+				par, err := Run(id, Options{Fast: true, Seed: 42, Parallel: workers})
+				if err != nil {
+					t.Fatalf("Run(%s, parallel=%d): %v", id, workers, err)
+				}
+				pb := par.Body()
+				if id == "fig20" {
+					pb = maskTimings(pb)
+				}
+				if sb != pb {
+					t.Fatalf("serial and parallel=%d bodies differ for %s:\n--- serial ---\n%s\n--- parallel ---\n%s", workers, id, sb, pb)
+				}
 			}
 		})
 	}

@@ -128,27 +128,30 @@ func fig13(opt Options) (*result.Artifact, error) {
 		bs = []int{15, 45, 75}
 		n = 25
 	}
-	// Stage 1: one Decima baseline per trial; stage 2: every (trial, γ)
-	// and (trial, B) run, folded back in trial-major order.
+	// One cell per trial: the Decima baseline and every (γ, B) point run
+	// as a common-prefix group over the trial's shared (cfg, jobs, seed)
+	// — neighboring parameter values share almost every decision, so the
+	// shared prefix simulates once (sim.RunGroup). Folded back in
+	// trial-major order, exactly the historical sample order.
 	states := make([]trialState, trials)
+	perTrial := len(gammas) + len(bs)
+	runs := make([]*sim.Result, trials*perTrial)
 	forEach(opt.pool, trials, func(t int) {
 		seed := cellSeed(opt.Seed, "DE", int64(t))
 		jobs := batch(n, 30, workload.MixTPCH, seed)
 		tr := e.trialTrace("DE", 60+n, seed)
 		cfg := simConfig(tr, seed)
-		states[t] = trialState{jobs: jobs, cfg: cfg, base: mustRun(cfg, jobs, sched.NewDecima(seed))}
-	})
-	perTrial := len(gammas) + len(bs)
-	runs := make([]*sim.Result, trials*perTrial)
-	forEach(opt.pool, len(runs), func(k int) {
-		t, i := k/perTrial, k%perTrial
-		seed := cellSeed(opt.Seed, "DE", int64(t))
-		st := states[t]
-		if i < len(gammas) {
-			runs[k] = mustRun(st.cfg, st.jobs, sched.NewPCAPS(sched.NewDecima(seed), gammas[i], seed))
-		} else {
-			runs[k] = mustRun(st.cfg, st.jobs, sched.NewCAP(sched.NewDecima(seed), bs[i-len(gammas)]))
+		scheds := make([]sim.Scheduler, 0, perTrial+1)
+		scheds = append(scheds, sched.NewDecima(seed))
+		for _, g := range gammas {
+			scheds = append(scheds, sched.NewPCAPS(sched.NewDecima(seed), g, seed))
 		}
+		for _, b := range bs {
+			scheds = append(scheds, sched.NewCAP(sched.NewDecima(seed), b))
+		}
+		group := mustRunGroup(cfg, jobs, scheds...)
+		states[t] = trialState{jobs: jobs, cfg: cfg, base: group[0]}
+		copy(runs[t*perTrial:(t+1)*perTrial], group[1:])
 	})
 	var pcapsPts, capPts []metrics.Point // X = relative ECT, Y = carbon reduction %
 	for t := 0; t < trials; t++ {

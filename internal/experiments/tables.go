@@ -175,14 +175,16 @@ func table2(opt Options) (*result.Artifact, error) {
 		jobs := batch(c.size, 30, workload.MixBoth, seed)
 		window := 60 + c.size // hours: generous for the batch
 		tr := e.trialTrace(c.grid, window, seed)
-		mk := func(s sim.Scheduler) *sim.Result {
-			return mustRun(protoConfig(tr, seed), jobs, s)
-		}
+		// Grouped by shared decision prefix: CAP over the default FIFO is
+		// exactly the default while the quota stays at K, and PCAPS shares
+		// Decima's sampling stream until its first filtered decision.
+		g := mustRunGroup(protoConfig(tr, seed), jobs,
+			sched.NewKubeDefault(), sched.NewCAP(sched.NewKubeDefault(), 20))
+		p := mustRunGroup(protoConfig(tr, seed), jobs,
+			sched.NewDecima(seed), sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
 		return map[string]*sim.Result{
-			"default": mk(sched.NewKubeDefault()),
-			"Decima":  mk(sched.NewDecima(seed)),
-			"CAP":     mk(sched.NewCAP(sched.NewKubeDefault(), 20)),
-			"PCAPS":   mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+			"default": g[0], "CAP": g[1],
+			"Decima": p[0], "PCAPS": p[1],
 		}
 	})
 	t := schedulerTable("default")
@@ -205,18 +207,20 @@ func table3(opt Options) (*result.Artifact, error) {
 	aggs := tableMatrix(e, sizes, trials, names, func(c matrixCell, seed int64) map[string]*sim.Result {
 		jobs := batch(c.size, 30, workload.MixTPCH, seed)
 		tr := e.trialTrace(c.grid, 60+c.size, seed)
-		mk := func(s sim.Scheduler) *sim.Result {
-			return mustRun(simConfig(tr, seed), jobs, s)
-		}
+		cfg := simConfig(tr, seed)
+		// Each CAP wrapper groups with its inner scheduler (identical
+		// decisions while the quota stays at K), and PCAPS with the
+		// Decima pair it samples from.
+		f := mustRunGroup(cfg, jobs, &sched.FIFO{}, sched.NewCAP(&sched.FIFO{}, 20))
+		w := mustRunGroup(cfg, jobs, &sched.WeightedFair{}, sched.NewCAP(&sched.WeightedFair{}, 20))
+		d := mustRunGroup(cfg, jobs,
+			sched.NewDecima(seed), sched.NewCAP(sched.NewDecima(seed), 20),
+			sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed))
 		return map[string]*sim.Result{
-			"FIFO":        mk(&sched.FIFO{}),
-			"W.Fair":      mk(&sched.WeightedFair{}),
-			"Decima":      mk(sched.NewDecima(seed)),
-			"GreenHadoop": mk(sched.NewGreenHadoop()),
-			"CAP-FIFO":    mk(sched.NewCAP(&sched.FIFO{}, 20)),
-			"CAP-W.Fair":  mk(sched.NewCAP(&sched.WeightedFair{}, 20)),
-			"CAP-Decima":  mk(sched.NewCAP(sched.NewDecima(seed), 20)),
-			"PCAPS":       mk(sched.NewPCAPS(sched.NewDecima(seed), 0.5, seed)),
+			"FIFO": f[0], "CAP-FIFO": f[1],
+			"W.Fair": w[0], "CAP-W.Fair": w[1],
+			"Decima": d[0], "CAP-Decima": d[1], "PCAPS": d[2],
+			"GreenHadoop": mustRun(cfg, jobs, sched.NewGreenHadoop()),
 		}
 	})
 	t := schedulerTable("FIFO")

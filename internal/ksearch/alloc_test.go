@@ -1,0 +1,36 @@
+//go:build !race
+
+package ksearch
+
+import "testing"
+
+// TestHotPathsAllocationFree pins the zero-allocation discipline of the
+// threshold machinery's steady-state paths: Alpha's fixed-point solve,
+// the Quota binary search, and the MinQuota scan are all called per
+// scheduling decision (or per trace interval) by the CAP wrapper, so
+// they must not allocate after construction. Compiled out under -race,
+// whose instrumentation perturbs allocation counts.
+func TestHotPathsAllocationFree(t *testing.T) {
+	th, err := NewThresholds(100, 20, 130, 765)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensities := []float64{300, 500, 650, 400, 250, 200, 130, 765}
+
+	var f float64
+	var n int
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Alpha", func() { f = Alpha(100, 130, 765) }},
+		{"Thresholds.Quota", func() { n = th.Quota(412) }},
+		{"Thresholds.MinQuota", func() { n = th.MinQuota(intensities) }},
+	}
+	for _, tc := range cases {
+		if avg := testing.AllocsPerRun(200, tc.fn); avg != 0 {
+			t.Errorf("%s allocates %.1f per call; hot paths must stay allocation-free", tc.name, avg)
+		}
+	}
+	_, _ = f, n
+}

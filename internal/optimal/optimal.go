@@ -10,6 +10,13 @@
 // each stage is a unit of serial work lasting an integral number of
 // slots, at most K stages run per slot, execution is preemptive at slot
 // granularity, and a slot of execution costs the slot's carbon intensity.
+//
+// Both DPs run on a per-solve scratch arena (see DESIGN.md §7): the
+// remaining-work vector is a mixed-radix number whose packed index keys
+// dense memo arrays, the state is mutated in place (decrement/undo)
+// during subset enumeration, and eligibility buffers are reused per
+// recursion depth — the hot path performs no per-state allocations and
+// no string key conversions.
 package optimal
 
 import (
@@ -29,7 +36,8 @@ type Instance struct {
 	// K is the machine count.
 	K int
 	// Carbon holds the per-slot carbon intensities; scheduling beyond
-	// the last slot reuses the final value.
+	// the last slot reuses the final value (see carbonAt). C-OPT
+	// requires a non-empty trace (ErrNoCarbon).
 	Carbon []float64
 	// Deadline is the completion deadline in slots for C-OPT.
 	Deadline int
@@ -45,7 +53,8 @@ type Schedule struct {
 func (s *Schedule) Makespan() int { return len(s.Slots) }
 
 // CarbonCost sums the carbon of every stage-slot under the instance's
-// per-slot intensities.
+// per-slot intensities. An empty intensity slice prices every slot at
+// zero (C-OPT itself rejects empty traces with ErrNoCarbon).
 func (s *Schedule) CarbonCost(carbon []float64) float64 {
 	var total float64
 	for t, ids := range s.Slots {
@@ -54,6 +63,11 @@ func (s *Schedule) CarbonCost(carbon []float64) float64 {
 	return total
 }
 
+// carbonAt prices slot t. Out-of-range slots deliberately clamp to the
+// final sample — the instance's trace covers the planning window, and a
+// schedule that runs past it keeps paying the last observed intensity
+// rather than running free. Empty traces price at zero; solver entry
+// points that need a real signal reject them up front (ErrNoCarbon).
 func carbonAt(carbon []float64, t int) float64 {
 	if len(carbon) == 0 {
 		return 0
@@ -69,10 +83,26 @@ var (
 	ErrTooLarge   = errors.New("optimal: instance too large for exact search")
 	ErrInfeasible = errors.New("optimal: no schedule meets the deadline")
 	ErrBadJob     = errors.New("optimal: stages must have exactly one task")
+	// ErrNoCarbon rejects C-OPT instances with an empty carbon trace: a
+	// carbon-optimal schedule against no signal is meaningless, and the
+	// historical behaviour (silently pricing every slot at zero) hid
+	// caller bugs.
+	ErrNoCarbon = errors.New("optimal: carbon trace is empty")
 )
 
 // maxStates bounds the DP state space as a safety valve.
 const maxStates = 2_000_000
+
+// maxDenseSlots caps the dense (slot, state) C-OPT memo at 32 MiB;
+// larger products fall back to a hashed memo with a capacity hint.
+const maxDenseSlots = 4 << 20
+
+// tGuard is the T-OPT "unreachable" value: larger than any feasible
+// makespan, and the in-progress marker that guards (impossible) cycles.
+const tGuard = 1 << 20
+
+// inf is the C-OPT infeasibility cost.
+const inf = math.MaxFloat64 / 4
 
 // durations validates and extracts integral slot durations.
 func durations(inst Instance) ([]int, error) {
@@ -100,289 +130,344 @@ func durations(inst Instance) ([]int, error) {
 	return durs, nil
 }
 
-// state is the remaining slot count per stage, encoded for memoization.
-type state []uint8
+// solver is the preallocated scratch arena of one solve call. The
+// remaining-work vector rem is a mixed-radix number with per-stage
+// strides; idx is its packed value, maintained incrementally as the
+// subset enumeration decrements and restores stages in place. All memo
+// tables are dense arrays keyed by idx (T-OPT) or slot·n+idx (C-OPT).
+type solver struct {
+	job      *dag.Job
+	k        int
+	deadline int
+	carbon   []float64
 
-func (s state) key() string { return string(s) }
+	stride []int // stride[i] = Π_{j<i} (durs[j]+1)
+	n      int   // total packed states, Π (durs[i]+1)
+	rem    []uint8
+	idx    int
 
-// eligible returns the stages that may run: incomplete with all parents
-// complete.
-func eligible(j *dag.Job, s state) []int {
-	var out []int
-	for _, st := range j.Stages {
-		if s[st.ID] == 0 {
+	// topt is the T-OPT / residual-bound memo: -1 unknown, tGuard in
+	// progress, otherwise the minimum slots to drain the state.
+	topt []int32
+
+	// copt is the dense C-OPT memo (slot-major), used when the
+	// (deadline+1)·n product fits maxDenseSlots; -1 unknown. coptMap is
+	// the fallback for larger products.
+	copt    []float64
+	coptMap map[int64]float64
+
+	// levels holds one eligibility buffer per DP recursion depth, so a
+	// parent's subset enumeration survives its children's. recon is the
+	// reconstruction walk's private buffer pair.
+	levels    [][]int
+	reconElig []int
+	reconPick []int
+}
+
+func newSolver(inst Instance) (*solver, error) {
+	durs, err := durations(inst)
+	if err != nil {
+		return nil, err
+	}
+	sv := &solver{
+		job:      inst.Job,
+		k:        inst.K,
+		deadline: inst.Deadline,
+		carbon:   inst.Carbon,
+		stride:   make([]int, len(durs)),
+		rem:      make([]uint8, len(durs)),
+	}
+	sv.n = 1
+	for i, d := range durs {
+		sv.stride[i] = sv.n
+		sv.n *= d + 1
+		sv.rem[i] = uint8(d)
+	}
+	sv.idx = sv.n - 1 // every digit at its radix maximum
+	sv.topt = make([]int32, sv.n)
+	for i := range sv.topt {
+		sv.topt[i] = -1
+	}
+	sv.reconElig = make([]int, 0, len(durs))
+	sv.reconPick = make([]int, 0, len(durs))
+	return sv, nil
+}
+
+// level returns depth d's eligibility buffer, growing the ladder on
+// first use (amortized across the whole solve).
+func (sv *solver) level(d int) []int {
+	for len(sv.levels) <= d {
+		sv.levels = append(sv.levels, make([]int, 0, len(sv.rem)))
+	}
+	return sv.levels[d]
+}
+
+// eligibleInto fills buf with the stages that may run in the current
+// state: incomplete with all parents complete, in ascending stage-ID
+// order (the enumeration and reconstruction order).
+func (sv *solver) eligibleInto(buf []int) []int {
+	buf = buf[:0]
+	for _, st := range sv.job.Stages {
+		if sv.rem[st.ID] == 0 {
 			continue
 		}
 		ok := true
 		for _, p := range st.Parents {
-			if s[p] != 0 {
+			if sv.rem[p] != 0 {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out = append(out, st.ID)
+			buf = append(buf, st.ID)
 		}
 	}
-	return out
+	return buf
 }
 
-// subsets enumerates the size-m subsets of ids, invoking fn for each;
-// fn returning false stops the enumeration.
-func subsets(ids []int, m int, fn func([]int) bool) {
-	pick := make([]int, 0, m)
-	var rec func(start int) bool
-	rec = func(start int) bool {
-		if len(pick) == m {
-			return fn(pick)
-		}
-		for i := start; i < len(ids); i++ {
-			pick = append(pick, ids[i])
-			if !rec(i + 1) {
-				return false
-			}
-			pick = pick[:len(pick)-1]
-		}
-		return true
+// run applies one chosen stage-slot in place; undo restores it.
+func (sv *solver) run(id int)  { sv.rem[id]--; sv.idx -= sv.stride[id] }
+func (sv *solver) undo(id int) { sv.rem[id]++; sv.idx += sv.stride[id] }
+
+// tsolve is the T-OPT DP: the minimum number of slots to drain the
+// current state. The value is time-invariant, so memoization is on the
+// packed state alone. Running fewer than min(K, |eligible|) stages in a
+// slot can never shorten a makespan, so only maximal subsets branch.
+func (sv *solver) tsolve(d int) int32 {
+	if sv.idx == 0 {
+		return 0
 	}
-	rec(0)
+	if v := sv.topt[sv.idx]; v >= 0 {
+		return v
+	}
+	here := sv.idx
+	sv.topt[here] = tGuard
+	el := sv.eligibleInto(sv.level(d))
+	sv.levels[d] = el
+	m := sv.k
+	if m > len(el) {
+		m = len(el)
+	}
+	best := sv.tEnum(el, m, 0, d)
+	sv.topt[here] = best
+	return best
 }
 
-// TOpt computes a makespan-optimal schedule. The DP value f(state) — the
-// minimum number of slots to drain the remaining work — is
-// time-invariant, so memoization is on the state alone. Running fewer
-// than min(K, |eligible|) stages in a slot can never shorten a makespan,
-// so only maximal subsets are branched on.
+// tEnum enumerates the size-m subsets of el[start:] in lexicographic
+// order, mutating the state in place and scoring each completed choice.
+func (sv *solver) tEnum(el []int, m, start, d int) int32 {
+	if m == 0 {
+		return 1 + sv.tsolve(d + 1)
+	}
+	best := int32(tGuard)
+	for i := start; i+m <= len(el); i++ {
+		sv.run(el[i])
+		if v := sv.tEnum(el, m-1, i+1, d); v < best {
+			best = v
+		}
+		sv.undo(el[i])
+	}
+	return best
+}
+
+// tFind locates the first size-m subset (lexicographic order, matching
+// the historical reconstruction) whose successor state proves the
+// memoized optimum, accumulating it into reconPick.
+func (sv *solver) tFind(el []int, m, start int, want int32) bool {
+	if m == 0 {
+		return 1+sv.tsolve(0) == want
+	}
+	for i := start; i+m <= len(el); i++ {
+		sv.run(el[i])
+		sv.reconPick = append(sv.reconPick, el[i])
+		if sv.tFind(el, m-1, i+1, want) {
+			sv.undo(el[i])
+			return true
+		}
+		sv.reconPick = sv.reconPick[:len(sv.reconPick)-1]
+		sv.undo(el[i])
+	}
+	return false
+}
+
+// TOpt computes a makespan-optimal schedule.
 func TOpt(inst Instance) (*Schedule, error) {
-	durs, err := durations(inst)
+	sv, err := newSolver(inst)
 	if err != nil {
 		return nil, err
 	}
-	j := inst.Job
-	start := make(state, len(durs))
-	for i, d := range durs {
-		start[i] = uint8(d)
-	}
-	memo := map[string]int{}
-	var solve func(s state) int
-	solve = func(s state) int {
-		done := true
-		for _, r := range s {
-			if r != 0 {
-				done = false
-				break
-			}
-		}
-		if done {
-			return 0
-		}
-		if v, ok := memo[s.key()]; ok {
-			return v
-		}
-		memo[s.key()] = 1 << 20 // guard against (impossible) cycles
-		el := eligible(j, s)
-		m := inst.K
-		if m > len(el) {
-			m = len(el)
-		}
-		best := 1 << 20
-		subsets(el, m, func(run []int) bool {
-			next := append(state(nil), s...)
-			for _, id := range run {
-				next[id]--
-			}
-			if v := 1 + solve(next); v < best {
-				best = v
-			}
-			return true
-		})
-		memo[s.key()] = best
-		return best
-	}
-	total := solve(start)
-	// Reconstruct a schedule by re-walking the DP greedily.
-	sched := &Schedule{}
-	cur := append(state(nil), start...)
+	total := int(sv.tsolve(0))
+	// Reconstruct a schedule by re-walking the memoized DP greedily.
+	sched := &Schedule{Slots: make([][]int, 0, total)}
 	for t := 0; t < total; t++ {
-		el := eligible(j, cur)
-		m := inst.K
+		el := sv.eligibleInto(sv.reconElig)
+		sv.reconElig = el
+		m := sv.k
 		if m > len(el) {
 			m = len(el)
 		}
-		var chosen []int
-		subsets(el, m, func(run []int) bool {
-			next := append(state(nil), cur...)
-			for _, id := range run {
-				next[id]--
-			}
-			if 1+solve(next) == solve(cur) {
-				chosen = append([]int(nil), run...)
-				return false
-			}
-			return true
-		})
+		want := sv.tsolve(0)
+		sv.reconPick = sv.reconPick[:0]
+		if !sv.tFind(el, m, 0, want) {
+			return nil, fmt.Errorf("optimal: T-OPT reconstruction lost the optimum at slot %d", t)
+		}
+		chosen := append([]int(nil), sv.reconPick...)
 		sort.Ints(chosen)
 		sched.Slots = append(sched.Slots, chosen)
 		for _, id := range chosen {
-			cur[id]--
+			sv.run(id)
 		}
 	}
 	return sched, nil
 }
 
+// cget reads the C-OPT memo for (slot t, current state): -1 is unknown.
+func (sv *solver) cget(t int) float64 {
+	if sv.copt != nil {
+		return sv.copt[t*sv.n+sv.idx]
+	}
+	if v, ok := sv.coptMap[int64(t)*int64(sv.n)+int64(sv.idx)]; ok {
+		return v
+	}
+	return -1
+}
+
+func (sv *solver) cset(t int, v float64) {
+	if sv.copt != nil {
+		sv.copt[t*sv.n+sv.idx] = v
+		return
+	}
+	sv.coptMap[int64(t)*int64(sv.n)+int64(sv.idx)] = v
+}
+
+// csolve is the C-OPT DP over (slot, state): the minimum summed
+// intensity of all remaining stage-slots, finishing by the deadline. A
+// T-OPT residual bound prunes states that can no longer meet it.
+func (sv *solver) csolve(t, d int) float64 {
+	if sv.idx == 0 {
+		return 0
+	}
+	if int(sv.tsolve(d)) > sv.deadline-t {
+		return inf
+	}
+	if v := sv.cget(t); v >= 0 {
+		return v
+	}
+	here := sv.idx
+	_ = here
+	sv.cset(t, inf) // in-progress guard
+	el := sv.eligibleInto(sv.level(d))
+	sv.levels[d] = el
+	maxRun := sv.k
+	if maxRun > len(el) {
+		maxRun = len(el)
+	}
+	price := carbonAt(sv.carbon, t)
+	best := inf
+	// Consider every run-count from 0 (idle the slot) to maxRun.
+	for m := 0; m <= maxRun; m++ {
+		if c := sv.cEnum(el, m, 0, t, d, price*float64(m)); c < best {
+			best = c
+		}
+	}
+	sv.cset(t, best)
+	return best
+}
+
+// cEnum enumerates the size-m subsets of el[start:] in lexicographic
+// order; base carries the slot's price·m term so leaf costs match the
+// historical expression exactly.
+func (sv *solver) cEnum(el []int, m, start, t, d int, base float64) float64 {
+	if m == 0 {
+		return base + sv.csolve(t+1, d+1)
+	}
+	best := inf
+	for i := start; i+m <= len(el); i++ {
+		sv.run(el[i])
+		if c := sv.cEnum(el, m-1, i+1, t, d, base); c < best {
+			best = c
+		}
+		sv.undo(el[i])
+	}
+	return best
+}
+
+// cFind mirrors the historical C-OPT reconstruction: the first subset
+// (run-counts ascending, then lexicographic) whose cost matches the
+// memoized optimum within 1e-9.
+func (sv *solver) cFind(el []int, m, start, t int, base, want float64) bool {
+	if m == 0 {
+		return math.Abs(base+sv.csolve(t+1, 0)-want) < 1e-9
+	}
+	for i := start; i+m <= len(el); i++ {
+		sv.run(el[i])
+		sv.reconPick = append(sv.reconPick, el[i])
+		if sv.cFind(el, m-1, i+1, t, base, want) {
+			sv.undo(el[i])
+			return true
+		}
+		sv.reconPick = sv.reconPick[:len(sv.reconPick)-1]
+		sv.undo(el[i])
+	}
+	return false
+}
+
 // COpt computes a carbon-optimal schedule finishing within the deadline:
 // it minimizes the summed intensity of all stage-slots, idling machines
-// through expensive hours whenever the remaining slack allows. The DP is
-// over (slot, state); a T-OPT residual bound prunes states that can no
-// longer meet the deadline.
+// through expensive hours whenever the remaining slack allows.
 func COpt(inst Instance) (*Schedule, error) {
-	durs, err := durations(inst)
-	if err != nil {
-		return nil, err
+	if len(inst.Carbon) == 0 {
+		return nil, ErrNoCarbon
 	}
 	if inst.Deadline < 1 {
 		return nil, fmt.Errorf("optimal: C-OPT requires a positive deadline")
 	}
-	j := inst.Job
-	start := make(state, len(durs))
-	for i, d := range durs {
-		start[i] = uint8(d)
+	sv, err := newSolver(inst)
+	if err != nil {
+		return nil, err
 	}
-	// Residual makespan lower bound via the T-OPT DP.
-	residualMemo := map[string]int{}
-	var residual func(s state) int
-	residual = func(s state) int {
-		done := true
-		for _, r := range s {
-			if r != 0 {
-				done = false
-				break
-			}
-		}
-		if done {
-			return 0
-		}
-		if v, ok := residualMemo[s.key()]; ok {
-			return v
-		}
-		residualMemo[s.key()] = 1 << 20
-		el := eligible(j, s)
-		m := inst.K
-		if m > len(el) {
-			m = len(el)
-		}
-		best := 1 << 20
-		subsets(el, m, func(run []int) bool {
-			next := append(state(nil), s...)
-			for _, id := range run {
-				next[id]--
-			}
-			if v := 1 + residual(next); v < best {
-				best = v
-			}
-			return true
-		})
-		residualMemo[s.key()] = best
-		return best
-	}
-	if residual(start) > inst.Deadline {
+	if int(sv.tsolve(0)) > inst.Deadline {
 		return nil, ErrInfeasible
 	}
-
-	type tkey struct {
-		t int
-		k string
+	// Memo over (slot, state): dense when the product fits the cap,
+	// hashed with a capacity hint otherwise.
+	slots := inst.Deadline + 1
+	if cells := slots * sv.n; cells <= maxDenseSlots {
+		sv.copt = make([]float64, cells)
+		for i := range sv.copt {
+			sv.copt[i] = -1
+		}
+	} else {
+		sv.coptMap = make(map[int64]float64, 1<<14)
 	}
-	memo := map[tkey]float64{}
-	const inf = math.MaxFloat64 / 4
-	var solve func(t int, s state) float64
-	solve = func(t int, s state) float64 {
-		done := true
-		for _, r := range s {
-			if r != 0 {
-				done = false
-				break
-			}
-		}
-		if done {
-			return 0
-		}
-		if residual(s) > inst.Deadline-t {
-			return inf
-		}
-		key := tkey{t, s.key()}
-		if v, ok := memo[key]; ok {
-			return v
-		}
-		memo[key] = inf
-		el := eligible(j, s)
-		maxRun := inst.K
-		if maxRun > len(el) {
-			maxRun = len(el)
-		}
-		price := carbonAt(inst.Carbon, t)
-		best := inf
-		// Consider every run-count from 0 (idle the slot) to maxRun.
-		for m := 0; m <= maxRun; m++ {
-			subsets(el, m, func(run []int) bool {
-				next := append(state(nil), s...)
-				for _, id := range run {
-					next[id]--
-				}
-				cost := price*float64(m) + solve(t+1, next)
-				if cost < best {
-					best = cost
-				}
-				return true
-			})
-		}
-		memo[key] = best
-		return best
-	}
-	total := solve(0, start)
+	total := sv.csolve(0, 0)
 	if total >= inf {
 		return nil, ErrInfeasible
 	}
-	// Reconstruct.
+	// Reconstruct by re-walking the memoized DP.
 	sched := &Schedule{}
-	cur := append(state(nil), start...)
-	for t := 0; ; t++ {
-		done := true
-		for _, r := range cur {
-			if r != 0 {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
-		el := eligible(j, cur)
-		maxRun := inst.K
+	for t := 0; sv.idx != 0; t++ {
+		el := sv.eligibleInto(sv.reconElig)
+		sv.reconElig = el
+		maxRun := sv.k
 		if maxRun > len(el) {
 			maxRun = len(el)
 		}
-		price := carbonAt(inst.Carbon, t)
-		var chosen []int
+		price := carbonAt(sv.carbon, t)
+		want := sv.csolve(t, 0)
 		found := false
 		for m := 0; m <= maxRun && !found; m++ {
-			subsets(el, m, func(run []int) bool {
-				next := append(state(nil), cur...)
-				for _, id := range run {
-					next[id]--
-				}
-				if math.Abs(price*float64(m)+solve(t+1, next)-solve(t, cur)) < 1e-9 {
-					chosen = append([]int(nil), run...)
-					found = true
-					return false
-				}
-				return true
-			})
+			sv.reconPick = sv.reconPick[:0]
+			found = sv.cFind(el, m, 0, t, price*float64(m), want)
 		}
+		if !found {
+			return nil, fmt.Errorf("optimal: C-OPT reconstruction lost the optimum at slot %d", t)
+		}
+		chosen := append([]int(nil), sv.reconPick...)
 		sort.Ints(chosen)
 		sched.Slots = append(sched.Slots, chosen)
 		for _, id := range chosen {
-			cur[id]--
+			sv.run(id)
 		}
 	}
 	return sched, nil
@@ -392,28 +477,25 @@ func COpt(inst Instance) (*Schedule, error) {
 // slot, run the lowest-ID eligible stages up to K. It is the slotted
 // analogue of Spark's FIFO stage order and Graham list scheduling.
 func ListSchedule(inst Instance) (*Schedule, error) {
-	durs, err := durations(inst)
+	sv, err := newSolver(inst)
 	if err != nil {
 		return nil, err
 	}
-	cur := make(state, len(durs))
-	for i, d := range durs {
-		cur[i] = uint8(d)
-	}
 	sched := &Schedule{}
 	for {
-		el := eligible(inst.Job, cur)
+		el := sv.eligibleInto(sv.reconElig)
+		sv.reconElig = el
 		if len(el) == 0 {
 			break
 		}
-		m := inst.K
+		m := sv.k
 		if m > len(el) {
 			m = len(el)
 		}
 		run := el[:m]
 		sched.Slots = append(sched.Slots, append([]int(nil), run...))
 		for _, id := range run {
-			cur[id]--
+			sv.run(id)
 		}
 	}
 	return sched, nil
@@ -427,11 +509,14 @@ func Validate(inst Instance, s *Schedule) error {
 		return err
 	}
 	rem := append([]int(nil), durs...)
+	seen := make(map[int]bool, len(durs))
 	for t, ids := range s.Slots {
 		if len(ids) > inst.K {
 			return fmt.Errorf("optimal: slot %d runs %d > K stages", t, len(ids))
 		}
-		seen := map[int]bool{}
+		for k := range seen {
+			delete(seen, k)
+		}
 		for _, id := range ids {
 			if id < 0 || id >= len(rem) {
 				return fmt.Errorf("optimal: slot %d has unknown stage %d", t, id)

@@ -98,6 +98,18 @@ func mustRun(cfg sim.Config, jobs []*dag.Job, s sim.Scheduler) *sim.Result {
 	return res
 }
 
+// mustRunGroup runs one cell's policy variants as a common-prefix group
+// (sim.RunGroup): one shared simulation up to the first policy-divergent
+// decision, per-variant forks after. Results are positionally parallel
+// to scheds and byte-identical to len(scheds) mustRun calls.
+func mustRunGroup(cfg sim.Config, jobs []*dag.Job, scheds []sim.Scheduler) []*sim.Result {
+	res, err := sim.RunGroup(cfg, jobs, scheds)
+	if err != nil {
+		panic(simError{fmt.Errorf("scenario: %w", err)})
+	}
+	return res
+}
+
 // runEnv is the resolved execution state shared by the three families.
 type runEnv struct {
 	spec   Spec
@@ -372,9 +384,19 @@ func (r *runEnv) runComparison() (*result.Artifact, error) {
 		jobs := r.batch(c.size, cellSeed)
 		tr := trialWindow(m.trace, 60+c.size, cellSeed)
 		cfg := r.baseConfig(tr, cellSeed, m)
-		out := map[string]*sim.Result{"": mustRun(cfg, jobs, baseline(cellSeed))}
+		// The baseline and every policy run as one common-prefix group:
+		// variants share the simulation until their first divergent
+		// decision (sim.RunGroup), which is most of the run for wrapper
+		// policies in low-carbon windows.
+		scheds := make([]sim.Scheduler, 0, len(names)+1)
+		scheds = append(scheds, baseline(cellSeed))
 		for _, name := range names {
-			out[name] = mustRun(cfg, jobs, factories[name](cellSeed))
+			scheds = append(scheds, factories[name](cellSeed))
+		}
+		group := mustRunGroup(cfg, jobs, scheds)
+		out := map[string]*sim.Result{"": group[0]}
+		for k, name := range names {
+			out[name] = group[k+1]
 		}
 		runs[i] = out
 	})
@@ -560,26 +582,31 @@ func (r *runEnv) runSweep() (*result.Artifact, error) {
 		aware[i] = f
 	}
 
-	// Stage 1: baselines, one cell per trial. Stage 2: every (trial,
-	// value) run against its trial's baseline. The fold walks trials in
-	// order so the sample order matches a serial sweep exactly.
+	// One cell per trial: the baseline and every parameter point run as a
+	// common-prefix group over the trial's shared (cfg, jobs, seed) —
+	// neighboring sweep values share almost every scheduling decision, so
+	// sim.RunGroup simulates the shared prefix once and forks per value.
+	// The fold walks trials in order so the sample order matches a serial
+	// sweep exactly.
 	states := make([]sweepState, trials)
+	runs := make([][]*sim.Result, trials)
 	r.pool.ForEach(trials, func(t int) {
 		cellSeed := seed.Derive(r.seed, m.key, int64(t))
 		jobs := r.batch(n, cellSeed)
 		tr := trialWindow(m.trace, 60+n, cellSeed)
 		cfg := r.baseConfig(tr, cellSeed, m)
-		states[t] = sweepState{jobs: jobs, cfg: cfg, base: mustRun(cfg, jobs, baseline(cellSeed))}
-	})
-	runs := make([]*sim.Result, trials*len(values))
-	r.pool.ForEach(len(runs), func(k int) {
-		t, i := k/len(values), k%len(values)
-		cellSeed := seed.Derive(r.seed, m.key, int64(t))
-		runs[k] = mustRun(states[t].cfg, states[t].jobs, aware[i](cellSeed))
+		scheds := make([]sim.Scheduler, 0, len(values)+1)
+		scheds = append(scheds, baseline(cellSeed))
+		for i := range values {
+			scheds = append(scheds, aware[i](cellSeed))
+		}
+		group := mustRunGroup(cfg, jobs, scheds)
+		states[t] = sweepState{jobs: jobs, cfg: cfg, base: group[0]}
+		runs[t] = group[1:]
 	})
 	for t := 0; t < trials; t++ {
 		for i := range values {
-			res := runs[t*len(values)+i]
+			res := runs[t][i]
 			pts[i].carbonPct = append(pts[i].carbonPct, -metrics.PercentChange(res.CarbonGrams, states[t].base.CarbonGrams))
 			pts[i].ects = append(pts[i].ects, res.ECT/states[t].base.ECT)
 		}

@@ -1,0 +1,345 @@
+package sim
+
+// Common-prefix group execution (see DESIGN.md §7). Sweep and comparison
+// experiments run the same (cfg, jobs, seed) cell under several policy
+// variants whose decisions coincide for long prefixes of the run — CAP at
+// full quota is exactly its inner scheduler, and PCAPS over Decima shares
+// Decima's sampling stream until the first filtered or parallelism-scaled
+// decision. RunGroup exploits that: one master simulation advances the
+// shared state while every attached variant's scheduler is consulted at
+// each decision point; the moment a variant's decision would produce a
+// different state transition, it forks onto a cheap in-memory clone of the
+// cluster (µs, no JSON round-trip — contrast Cluster.Snapshot) and runs to
+// completion independently. Determinism makes this sound: with identical
+// seeds and identical decision effects, the shared trajectory is
+// bit-for-bit the trajectory each variant would have produced alone.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcaps/internal/dag"
+)
+
+// deferralSink receives NoteDeferral accounting for one group variant, so
+// shadow schedulers evaluated on shared state keep separate counters.
+type deferralSink struct {
+	deferrals    int
+	deferredWork float64
+}
+
+// groupVariant tracks one scheduler's progress through a group run.
+type groupVariant struct {
+	s      Scheduler
+	sink   deferralSink
+	result *Result
+	err    error
+}
+
+// forkable reports whether a configuration supports lockstep group
+// execution. Jitter and failure injection consume the cluster RNG (whose
+// draw order would interleave across variants), stateful forecasters and
+// observers cannot be cloned, and per-job usage rows are not worth the
+// clone complexity — those configurations fall back to independent runs.
+func forkable(cfg Config) bool {
+	return cfg.DurationJitter == 0 && cfg.FailureRate == 0 &&
+		cfg.Forecaster == nil && cfg.Observer == nil && !cfg.TrackJobUsage
+}
+
+// RunGroup simulates the batch under every scheduler, sharing the common
+// decision prefix across variants (one state evolution, per-variant
+// forks at divergence). Results are positionally parallel to scheds and
+// byte-identical to len(scheds) independent Run calls. Configurations
+// that cannot fork (see forkable) degrade to exactly those calls.
+func RunGroup(cfg Config, jobs []*dag.Job, scheds []Scheduler) ([]*Result, error) {
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("sim: RunGroup needs at least one scheduler")
+	}
+	if len(scheds) == 1 || !forkable(cfg) {
+		results := make([]*Result, len(scheds))
+		for i, s := range scheds {
+			r, err := Run(cfg, jobs, s)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	c, totalWork, err := newCluster(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]*groupVariant, len(scheds))
+	for i, s := range scheds {
+		vs[i] = &groupVariant{s: s}
+	}
+	attached := append([]*groupVariant(nil), vs...)
+
+	events := 0
+	for c.events.Len() > 0 {
+		events++
+		if events > c.cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: exceeded %d events (scheduler livelock?)", c.cfg.MaxEvents)
+		}
+		ev := c.pop()
+		c.advance(ev.at)
+		c.handleEvent(ev)
+		attached, err = c.scheduleGroup(attached, events, totalWork)
+		if err != nil {
+			return nil, err
+		}
+		if !c.unfinished() && c.noTaskPending() {
+			break
+		}
+	}
+
+	// The master state is the final state of every still-attached variant.
+	for i, v := range attached {
+		c.deferrals = v.sink.deferrals
+		c.deferredWork = v.sink.deferredWork
+		if i > 0 {
+			// Results must not share mutable backing arrays; buildResult
+			// reuses c.usage directly, so give later variants a copy.
+			c.usage = append([]float64(nil), c.usage...)
+		}
+		v.result, v.err = c.buildResult(v.s.Name(), totalWork, events)
+	}
+	results := make([]*Result, len(vs))
+	for i, v := range vs {
+		if v.err != nil {
+			return nil, v.err
+		}
+		results[i] = v.result
+	}
+	return results, nil
+}
+
+// decisionEffect is the state transition a Decision produces: whether the
+// pass ends (defer), which stage gains executors under which normalized
+// limit, and how many executors bind. Two decisions with equal effects
+// leave the cluster in identical states, so a shadow variant stays
+// attached exactly while its effects match the master's.
+type decisionEffect struct {
+	deferred  bool
+	job       *JobRun
+	stage     *StageRun
+	guardFail bool
+	limit     int
+	binds     int
+}
+
+// effectOf computes a decision's effect against the current cluster state
+// without applying it, mirroring assign's guard, limit normalization, and
+// bind loop in closed form.
+func (c *Cluster) effectOf(d Decision) decisionEffect {
+	if d.Defer {
+		return decisionEffect{deferred: true}
+	}
+	j, st := d.Ref.Job, d.Ref.Stage
+	e := decisionEffect{job: j, stage: st}
+	if j == nil || st == nil {
+		e.guardFail = true
+		return e
+	}
+	if !j.Arrived || j.Done || !st.Runnable() {
+		e.guardFail = true
+		return e
+	}
+	limit := d.Limit
+	if limit < 1 || limit > st.Stage.NumTasks {
+		limit = st.Stage.NumTasks
+	}
+	e.limit = limit
+	n := len(c.free)
+	if d.MaxNew > 0 && d.MaxNew < n {
+		n = d.MaxNew
+	}
+	if m := limit - st.Running; m < n {
+		n = m
+	}
+	if m := st.RemainingTasks(); m < n {
+		n = m
+	}
+	if c.cfg.PerJobCap > 0 {
+		if m := c.cfg.PerJobCap - j.Executors; m < n {
+			n = m
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.binds = n
+	return e
+}
+
+// scheduleGroup runs one scheduling pass in lockstep: the hold-mode
+// dispatch (scheduler-independent) once, then per decision point every
+// attached variant's Pick on the shared state. Variants whose decision
+// effect diverges from the master's (variant 0) fork and finish on their
+// own clone; the master's decision then advances the shared state. The
+// returned slice holds the variants still attached.
+func (c *Cluster) scheduleGroup(attached []*groupVariant, events int, totalWork float64) ([]*groupVariant, error) {
+	if c.cfg.HoldExecutors && c.holdReadyCount > 0 {
+		c.dispatchReserved()
+	}
+	for c.IdleCount() > 0 {
+		if len(c.Runnable()) == 0 {
+			return attached, nil
+		}
+		c.sink = &attached[0].sink
+		d0 := attached[0].s.Pick(c)
+		e0 := c.effectOf(d0)
+		keep := attached[:1]
+		for _, v := range attached[1:] {
+			c.sink = &v.sink
+			d := v.s.Pick(c)
+			if c.effectOf(d) == e0 {
+				keep = append(keep, v)
+			} else {
+				v.finishForked(c, d, events, totalWork)
+			}
+		}
+		c.sink = nil
+		attached = keep
+		if d0.Defer {
+			return attached, nil
+		}
+		if d0.Ref.Stage == nil || d0.Ref.Job == nil {
+			return attached, fmt.Errorf("%w: %s returned empty decision", errNoProgress, attached[0].s.Name())
+		}
+		if n := c.assign(d0); n == 0 {
+			return attached, nil
+		}
+	}
+	return attached, nil
+}
+
+// finishForked detaches the variant at a divergent decision: clone the
+// shared state, replay the variant's own decision there, finish the
+// in-progress scheduling pass, and run the remaining event loop to
+// completion under the variant's scheduler.
+func (v *groupVariant) finishForked(master *Cluster, d Decision, events int, totalWork float64) {
+	c, jm, sm := master.clone()
+	c.deferrals = v.sink.deferrals
+	c.deferredWork = v.sink.deferredWork
+	d.Ref.Job = jm[d.Ref.Job]
+	d.Ref.Stage = sm[d.Ref.Stage]
+	if err := c.resumePass(v.s, d); err != nil {
+		v.err = err
+		return
+	}
+	ev, err := c.loopFrom(v.s, events)
+	if err != nil {
+		v.err = err
+		return
+	}
+	v.result, v.err = c.buildResult(v.s.Name(), totalWork, ev)
+}
+
+// resumePass finishes the scheduling pass the fork interrupted, starting
+// from the variant's own divergent decision. The hold-mode dispatch
+// already ran on the master before any Pick, so the clone carries its
+// effects and the pass resumes at the decision loop.
+func (c *Cluster) resumePass(s Scheduler, d Decision) error {
+	for {
+		if d.Defer {
+			return nil
+		}
+		if d.Ref.Stage == nil || d.Ref.Job == nil {
+			return fmt.Errorf("%w: %s returned empty decision", errNoProgress, s.Name())
+		}
+		if n := c.assign(d); n == 0 {
+			return nil
+		}
+		if c.IdleCount() == 0 {
+			return nil
+		}
+		if len(c.Runnable()) == 0 {
+			return nil
+		}
+		d = s.Pick(c)
+	}
+}
+
+// clone deep-copies the simulation state in memory: executors, job and
+// stage runtime records, the held/runnable indexes, both ID heaps, the
+// event heap (sequence counter preserved — event ordering is part of the
+// trajectory), and the usage timeline. Immutable structure is shared:
+// *dag.Job and *dag.Stage are never mutated after validation, and the
+// carbon trace is read-only. The returned maps translate master JobRun
+// and StageRun pointers to their clones (for remapping in-flight
+// decision refs). The cluster RNG is rebuilt from the seed — forkable()
+// guarantees it was never drawn from.
+func (c *Cluster) clone() (*Cluster, map[*JobRun]*JobRun, map[*StageRun]*StageRun) {
+	n := &Cluster{
+		cfg:            c.cfg,
+		clock:          c.clock,
+		rng:            rand.New(rand.NewSource(c.cfg.Seed)),
+		busyCount:      c.busyCount,
+		activeCount:    c.activeCount,
+		holdReadyCount: c.holdReadyCount,
+		doneCount:      c.doneCount,
+		epoch:          c.epoch,
+		// Force the cached views to rebuild on first use in the clone.
+		runnableEpoch:    c.epoch - 1,
+		outstandingEpoch: c.epoch - 1,
+		deferrals:        c.deferrals,
+		deferredWork:     c.deferredWork,
+		retries:          c.retries,
+		boundsClock:      c.boundsClock,
+		boundsLo:         c.boundsLo,
+		boundsHi:         c.boundsHi,
+	}
+	jm := make(map[*JobRun]*JobRun, len(c.jobs))
+	sm := make(map[*StageRun]*StageRun, len(c.jobs)*4)
+	n.jobs = make([]*JobRun, len(c.jobs))
+	for i, j := range c.jobs {
+		nj := &JobRun{}
+		*nj = *j
+		nj.Stages = make([]*StageRun, len(j.Stages))
+		for k, st := range j.Stages {
+			nst := &StageRun{}
+			*nst = *st
+			nj.Stages[k] = nst
+			sm[st] = nst
+		}
+		nj.runnable = make([]*StageRun, len(j.runnable))
+		for k, st := range j.runnable {
+			nj.runnable[k] = sm[st]
+		}
+		nj.held = make([]*executor, len(j.held)) // filled after executors clone
+		n.jobs[i] = nj
+		jm[j] = nj
+	}
+	n.active = make([]*JobRun, len(c.active))
+	for i, j := range c.active {
+		n.active[i] = jm[j]
+	}
+	n.execs = make([]*executor, len(c.execs))
+	for i, e := range c.execs {
+		ne := &executor{}
+		*ne = *e
+		ne.job = jm[e.job]
+		ne.stage = sm[e.stage]
+		ne.reserved = jm[e.reserved]
+		ne.lastJob = jm[e.lastJob]
+		n.execs[i] = ne
+		if ne.reserved != nil {
+			ne.reserved.held[ne.heldPos] = ne
+		}
+	}
+	n.free = append(make(intHeap, 0, cap(c.free)), c.free...)
+	n.reservedIdle = append(intHeap(nil), c.reservedIdle...)
+	n.events = eventHeap{items: make([]event, len(c.events.items)), seq: c.events.seq}
+	for i, ev := range c.events.items {
+		ev.job = jm[ev.job]
+		if ev.exec != nil {
+			ev.exec = n.execs[ev.exec.id]
+		}
+		n.events.items[i] = ev
+	}
+	n.usage = append(make([]float64, 0, cap(c.usage)), c.usage...)
+	return n, jm, sm
+}

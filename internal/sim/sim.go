@@ -161,6 +161,13 @@ type JobRun struct {
 	// (HoldExecutors mode), so hold-mode dispatch and job-completion
 	// release never scan the whole cluster.
 	held []*executor
+	// holdReady mirrors len(held) > 0 && len(runnable) > 0 — the job can
+	// serve a held executor right now. The cluster counts holdReady jobs
+	// so the hold-mode dispatch pass is skipped entirely when no job has
+	// both a parked executor and runnable work (the common case: after
+	// every dispatch pass the count returns to zero, and it only rises
+	// again at a stage finish, hold, or arrival transition).
+	holdReady bool
 }
 
 // RemainingWork returns the job's undone work in executor-seconds,
@@ -255,9 +262,15 @@ type Cluster struct {
 	reservedIdle intHeap
 	// reservedScratch is reused by dispatchReserved's drain.
 	reservedScratch []int
+	// holdReadyCount counts jobs with holdReady set; dispatchReserved is
+	// a guaranteed no-op while it is zero.
+	holdReadyCount int
 	// active lists arrived, incomplete jobs in batch order — the
 	// incremental form of the historical scan over all jobs.
 	active []*JobRun
+	// doneCount counts completed jobs, replacing the historical per-event
+	// scan over all jobs in unfinished().
+	doneCount int
 
 	// epoch counts state mutations that can change the scheduler-facing
 	// views; the cached views below are rebuilt (into reused scratch)
@@ -281,6 +294,19 @@ type Cluster struct {
 	retries int
 	// jobUsage mirrors usage per job when Config.TrackJobUsage is set.
 	jobUsage [][]float64
+
+	// sink, when non-nil, receives NoteDeferral accounting instead of the
+	// cluster's own counters. The lockstep group runner (fork.go) points
+	// it at the per-variant sink before each scheduler's Pick so shadow
+	// schedulers evaluated on shared state never pollute each other.
+	sink *deferralSink
+
+	// boundsClock/boundsLo/boundsHi cache the oracle CarbonBounds for the
+	// current clock value: CAP-style wrappers query the bounds on every
+	// Pick, several times per scheduling event, and the answer only
+	// changes when the clock moves. boundsClock is NaN when invalid.
+	boundsClock        float64
+	boundsLo, boundsHi float64
 }
 
 // Now returns the simulation clock in experiment seconds.
@@ -294,9 +320,15 @@ func (c *Cluster) Carbon() float64 { return c.cfg.Trace.At(c.clock) }
 // by default, per the paper's assumption).
 func (c *Cluster) CarbonBounds() (lo, hi float64) {
 	if c.cfg.Forecaster != nil {
+		// Forecasters may be stateful (history accumulation), so their
+		// answers are never cached.
 		return c.cfg.Forecaster.Bounds(c.cfg.Trace, c.clock, c.cfg.ForecastHorizon)
 	}
-	return c.cfg.Trace.Bounds(c.clock, c.cfg.ForecastHorizon)
+	if c.boundsClock != c.clock {
+		c.boundsLo, c.boundsHi = c.cfg.Trace.Bounds(c.clock, c.cfg.ForecastHorizon)
+		c.boundsClock = c.clock
+	}
+	return c.boundsLo, c.boundsHi
 }
 
 // GreenFraction returns the local renewable (solar) capacity fraction now
@@ -384,10 +416,17 @@ func (c *Cluster) OutstandingWork() float64 {
 // NoteDeferral lets carbon-aware wrapper schedulers record a filtered
 // (deferred) stage so that the run report can estimate D(γ,c).
 func (c *Cluster) NoteDeferral(ref StageRef) {
-	c.deferrals++
+	var work float64
 	if ref.Stage != nil {
-		c.deferredWork += float64(ref.Stage.RemainingTasks()) * ref.Stage.Stage.TaskDuration
+		work = float64(ref.Stage.RemainingTasks()) * ref.Stage.Stage.TaskDuration
 	}
+	if c.sink != nil {
+		c.sink.deferrals++
+		c.sink.deferredWork += work
+		return
+	}
+	c.deferrals++
+	c.deferredWork += work
 }
 
 // errNoProgress guards against schedulers that return saturated stages.
@@ -429,14 +468,30 @@ type Result struct {
 // completes, returning the run summary. Jobs are deep-copied so templates
 // can be reused across runs.
 func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
+	c, totalWork, err := newCluster(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	events, err := c.loopFrom(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	return c.buildResult(s.Name(), totalWork, events)
+}
+
+// newCluster validates the configuration and builds the initial cluster
+// state: executors in the free pool, cloned-and-validated jobs, arrival
+// events, and the first carbon-boundary event. It returns the batch's
+// total work in executor-seconds alongside the cluster.
+func newCluster(cfg Config, jobs []*dag.Job) (*Cluster, float64, error) {
 	if cfg.Trace == nil {
-		return nil, errors.New("sim: config requires a carbon trace")
+		return nil, 0, errors.New("sim: config requires a carbon trace")
 	}
 	if cfg.NumExecutors < 1 {
-		return nil, fmt.Errorf("sim: need at least one executor, got %d", cfg.NumExecutors)
+		return nil, 0, fmt.Errorf("sim: need at least one executor, got %d", cfg.NumExecutors)
 	}
 	if len(jobs) == 0 {
-		return nil, errors.New("sim: no jobs")
+		return nil, 0, errors.New("sim: no jobs")
 	}
 	if cfg.ForecastHorizon <= 0 {
 		cfg.ForecastHorizon = 48 * cfg.Trace.Interval
@@ -445,10 +500,11 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 		cfg.MaxEvents = 20_000_000
 	}
 	if cfg.FailureRate < 0 || cfg.FailureRate > 0.9 {
-		return nil, fmt.Errorf("sim: failure rate %v outside [0, 0.9]", cfg.FailureRate)
+		return nil, 0, fmt.Errorf("sim: failure rate %v outside [0, 0.9]", cfg.FailureRate)
 	}
 
 	c := &Cluster{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), epoch: 1}
+	c.boundsClock = math.NaN() // cache starts invalid (clock starts at 0)
 	c.execs = make([]*executor, cfg.NumExecutors)
 	c.free = make(intHeap, 0, cfg.NumExecutors)
 	for i := 0; i < cfg.NumExecutors; i++ {
@@ -469,7 +525,7 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 		// shared template must only ever be read.
 		j := tpl.Clone()
 		if err := j.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: job %d: %w", tpl.ID, err)
+			return nil, 0, fmt.Errorf("sim: job %d: %w", tpl.ID, err)
 		}
 		run := &JobRun{Job: j, Stages: make([]*StageRun, len(j.Stages)), index: idx}
 		for i, st := range j.Stages {
@@ -484,40 +540,56 @@ func Run(cfg Config, jobs []*dag.Job, s Scheduler) (*Result, error) {
 	if next := cfg.Trace.NextChange(0); !math.IsInf(next, 1) {
 		c.push(event{at: next, kind: evCarbon})
 	}
+	return c, totalWork, nil
+}
 
-	events := 0
+// handleEvent applies one popped event's state transition (the clock must
+// already have advanced to ev.at).
+func (c *Cluster) handleEvent(ev event) {
+	switch ev.kind {
+	case evArrival:
+		c.arrive(ev.job)
+	case evTaskDone:
+		c.completeTask(ev.exec)
+	case evCarbon:
+		if next := c.cfg.Trace.NextChange(c.clock); !math.IsInf(next, 1) && c.unfinished() {
+			c.push(event{at: next, kind: evCarbon})
+		}
+	case evHoldExpire:
+		c.expireHold(ev.exec)
+	}
+}
+
+// loopFrom drives the event loop to completion under one scheduler,
+// starting from the cluster's current state with `events` events already
+// processed (non-zero when resuming a forked clone). It returns the
+// cumulative event count.
+func (c *Cluster) loopFrom(s Scheduler, events int) (int, error) {
 	for c.events.Len() > 0 {
 		events++
-		if events > cfg.MaxEvents {
-			return nil, fmt.Errorf("sim: exceeded %d events (scheduler livelock?)", cfg.MaxEvents)
+		if events > c.cfg.MaxEvents {
+			return events, fmt.Errorf("sim: exceeded %d events (scheduler livelock?)", c.cfg.MaxEvents)
 		}
 		ev := c.pop()
 		c.advance(ev.at)
-		switch ev.kind {
-		case evArrival:
-			c.arrive(ev.job)
-		case evTaskDone:
-			c.completeTask(ev.exec)
-		case evCarbon:
-			if next := cfg.Trace.NextChange(c.clock); !math.IsInf(next, 1) && c.unfinished() {
-				c.push(event{at: next, kind: evCarbon})
-			}
-		case evHoldExpire:
-			c.expireHold(ev.exec)
-		}
+		c.handleEvent(ev)
 		if err := c.schedule(s); err != nil {
-			return nil, err
+			return events, err
 		}
-		if cfg.Observer != nil {
-			cfg.Observer(c)
+		if c.cfg.Observer != nil {
+			c.cfg.Observer(c)
 		}
 		if !c.unfinished() && c.noTaskPending() {
 			break
 		}
 	}
+	return events, nil
+}
 
+// buildResult assembles the run summary from a finished cluster.
+func (c *Cluster) buildResult(name string, totalWork float64, events int) (*Result, error) {
 	res := &Result{
-		Scheduler:    s.Name(),
+		Scheduler:    name,
 		Usage:        c.usage,
 		JobUsage:     c.jobUsage,
 		Deferrals:    c.deferrals,
@@ -553,14 +625,24 @@ func min(a, b int) int {
 	return b
 }
 
-// unfinished reports whether any job is incomplete.
-func (c *Cluster) unfinished() bool {
-	for _, j := range c.jobs {
-		if !j.Done {
-			return true
+// unfinished reports whether any job is incomplete. doneCount is
+// maintained at the single place a job completes (finishStage), replacing
+// the historical per-event scan over all jobs.
+func (c *Cluster) unfinished() bool { return c.doneCount < len(c.jobs) }
+
+// updateHoldReady recomputes the job's holdReady bit and keeps the
+// cluster-wide count in sync. It must be called after any mutation of
+// j.held or j.runnable (and is cheap enough to call unconditionally).
+func (c *Cluster) updateHoldReady(j *JobRun) {
+	r := len(j.held) > 0 && len(j.runnable) > 0
+	if r != j.holdReady {
+		j.holdReady = r
+		if r {
+			c.holdReadyCount++
+		} else {
+			c.holdReadyCount--
 		}
 	}
-	return false
 }
 
 // noTaskPending reports whether no task-completion events remain.
@@ -583,6 +665,7 @@ func (c *Cluster) arrive(j *JobRun) {
 			j.runnable = append(j.runnable, s)
 		}
 	}
+	c.updateHoldReady(j)
 	c.invalidate()
 }
 
@@ -597,6 +680,7 @@ func (c *Cluster) noteDispatch(j *JobRun, st *StageRun) {
 				break
 			}
 		}
+		c.updateHoldReady(j)
 	}
 	c.invalidate()
 }
@@ -611,6 +695,7 @@ func (c *Cluster) insertRunnable(j *JobRun, st *StageRun) {
 	j.runnable = append(j.runnable, nil)
 	copy(j.runnable[i+1:], j.runnable[i:])
 	j.runnable[i] = st
+	c.updateHoldReady(j)
 }
 
 // advance moves the clock to t, accumulating busy executor-seconds into
@@ -671,7 +756,10 @@ func (c *Cluster) advance(t float64) {
 // until the scheduler defers, no executors are idle, or nothing is
 // runnable.
 func (c *Cluster) schedule(s Scheduler) error {
-	if c.cfg.HoldExecutors {
+	if c.cfg.HoldExecutors && c.holdReadyCount > 0 {
+		// holdReadyCount > 0 iff some job has both a parked executor and
+		// runnable work; otherwise the drain pass is a guaranteed no-op
+		// (it would pop and re-push every waiting ID), so skip it.
 		c.dispatchReserved()
 	}
 	for c.IdleCount() > 0 {
@@ -852,6 +940,7 @@ func (c *Cluster) holdExecutor(e *executor, j *JobRun) {
 	e.reserved = j
 	e.heldPos = len(j.held)
 	j.held = append(j.held, e)
+	c.updateHoldReady(j)
 	if !e.inReservedIdle {
 		c.reservedIdle.push(e.id)
 		e.inReservedIdle = true
@@ -875,6 +964,7 @@ func (c *Cluster) releaseHeld(e *executor) {
 	moved.heldPos = e.heldPos
 	held[last] = nil
 	e.reserved.held = held[:last]
+	c.updateHoldReady(e.reserved)
 }
 
 // expireHold releases a still-reserved executor whose idle window lapsed.
@@ -907,6 +997,7 @@ func (c *Cluster) finishStage(j *JobRun, st *StageRun) {
 	if j.StagesDone == len(j.Stages) {
 		j.Done = true
 		j.CompletedAt = c.clock
+		c.doneCount++
 		// Release every executor the job was holding (standalone mode).
 		for _, e := range j.held {
 			e.reserved = nil
@@ -917,6 +1008,7 @@ func (c *Cluster) finishStage(j *JobRun, st *StageRun) {
 		}
 		j.held = j.held[:0]
 		j.runnable = j.runnable[:0]
+		c.updateHoldReady(j)
 		for i, job := range c.active {
 			if job == j {
 				copy(c.active[i:], c.active[i+1:])
