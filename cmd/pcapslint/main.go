@@ -1,0 +1,75 @@
+// Command pcapslint runs the repository's custom analyzer suite
+// (internal/lint): the determinism, hot-path, and API-error contracts
+// of DESIGN.md §§3–8 checked at the source level instead of only by the
+// golden/race/alloc tests.
+//
+// Usage:
+//
+//	pcapslint [-waivers] [-q] [packages...]
+//
+// With no arguments it analyzes ./... . Diagnostics print one per line
+// as file:line:col: analyzer: message, and the process exits 1 if any
+// are found. Waiver annotations (//det:unordered, //det:ambient,
+// //hot:alloc, //err:untyped, //err:unknownfields — each with a
+// mandatory reason) suppress individual findings but are always
+// inventoried: -waivers prints them, and the count appears in the
+// summary either way, so exceptions to the contracts stay visible.
+//
+// The suite is stdlib-only (no golang.org/x/tools dependency, so the
+// module stays hermetic); it type-checks packages against `go list
+// -export` data, which the driver resolves from the build cache of the
+// current toolchain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcaps/internal/lint"
+)
+
+func main() {
+	waivers := flag.Bool("waivers", false, "print the waiver inventory (every suppressed finding and its reason)")
+	quiet := flag.Bool("q", false, "suppress the summary line on success")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pcapslint [-waivers] [-q] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcapslint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcapslint:", err)
+		os.Exit(2)
+	}
+	res := lint.Run(pkgs, lint.Suite())
+	for _, d := range res.Diagnostics {
+		fmt.Println(d)
+	}
+	if *waivers {
+		for _, w := range res.Waivers {
+			fmt.Println(w)
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "pcapslint: %d finding(s), %d waiver(s) in %d package(s)\n",
+			len(res.Diagnostics), len(res.Waivers), len(pkgs))
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "pcapslint: clean — %d package(s), %d waiver(s)\n", len(pkgs), len(res.Waivers))
+	}
+}

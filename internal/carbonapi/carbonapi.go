@@ -158,7 +158,7 @@ type TraceResponse struct {
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) (*carbon.Trace, string, bool) {
 	grid := r.URL.Query().Get("grid")
 	if grid == "" {
-		http.Error(w, "missing grid parameter", http.StatusBadRequest)
+		badRequest(w, badParam("grid", "missing parameter"))
 		return nil, "", false
 	}
 	t, ok := s.traces[grid]
@@ -169,19 +169,19 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) (*carbon.Trace, s
 	return t, grid, true
 }
 
-func floatParam(r *http.Request, name string, def float64) (float64, error) {
+func floatParam(r *http.Request, name string, def float64) (float64, *ParamError) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return def, nil
 	}
 	v, err := strconv.ParseFloat(raw, 64)
 	if err != nil {
-		return 0, fmt.Errorf("bad %s: %w", name, err)
+		return 0, badParam(name, "bad value %q", raw)
 	}
 	// ParseFloat accepts "NaN" and "Inf", which defeat range checks (NaN
 	// comparisons are false) and int conversions downstream.
 	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return 0, fmt.Errorf("bad %s: non-finite value %v", name, v)
+		return 0, badParam(name, "non-finite value %v", v)
 	}
 	return v, nil
 }
@@ -256,7 +256,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBytes+1))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("reading spec: %v", err), http.StatusBadRequest)
+		badRequest(w, badParam("body", "reading spec: %v", err))
 		return
 	}
 	if len(body) > maxScenarioBytes {
@@ -266,7 +266,7 @@ func (s *Server) handleScenarioRun(w http.ResponseWriter, r *http.Request) {
 	art, err := s.scenarios.Run(r.Context(), body)
 	if err != nil {
 		if errors.Is(err, ErrInvalidScenario) {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			badRequest(w, err)
 			return
 		}
 		log.Printf("carbonapi: running scenario: %v", err)
@@ -290,9 +290,9 @@ func (s *Server) handleIntensity(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	at, err := floatParam(r, "at", 0)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	at, perr := floatParam(r, "at", 0)
+	if perr != nil {
+		badRequest(w, perr)
 		return
 	}
 	writeJSON(w, IntensityResponse{Grid: grid, At: at, Intensity: t.At(at), Interval: t.Interval})
@@ -303,20 +303,20 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	at, err := floatParam(r, "at", 0)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	at, perr := floatParam(r, "at", 0)
+	if perr != nil {
+		badRequest(w, perr)
 		return
 	}
-	horizon, err := floatParam(r, "horizon", 48*t.Interval)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	horizon, perr := floatParam(r, "horizon", 48*t.Interval)
+	if perr != nil {
+		badRequest(w, perr)
 		return
 	}
 	if horizon <= 0 {
 		// A non-positive window would invert Trace.Bounds into
 		// (+Inf, -Inf), which JSON cannot carry.
-		http.Error(w, fmt.Sprintf("non-positive horizon %v", horizon), http.StatusBadRequest)
+		badRequest(w, badParam("horizon", "non-positive horizon %v", horizon))
 		return
 	}
 	// Clamp the window to the replayed trace so requests at or past the
@@ -341,18 +341,18 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	from, err := floatParam(r, "from", 0)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	from, perr := floatParam(r, "from", 0)
+	if perr != nil {
+		badRequest(w, perr)
 		return
 	}
-	n, err := floatParam(r, "n", float64(len(t.Values)))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	n, perr := floatParam(r, "n", float64(len(t.Values)))
+	if perr != nil {
+		badRequest(w, perr)
 		return
 	}
 	if n < 1 {
-		http.Error(w, fmt.Sprintf("n must be at least 1, got %v", n), http.StatusBadRequest)
+		badRequest(w, badParam("n", "must be at least 1, got %v", n))
 		return
 	}
 	// Clamp before converting: int(n) for n beyond MaxInt64 is

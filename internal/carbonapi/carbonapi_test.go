@@ -144,10 +144,10 @@ func TestForecastParamValidation(t *testing.T) {
 	}{
 		{name: "zero horizon", query: "grid=DE&horizon=0", wantStatus: 400, wantBody: "non-positive horizon"},
 		{name: "negative horizon", query: "grid=DE&horizon=-60", wantStatus: 400, wantBody: "non-positive horizon"},
-		{name: "bad at", query: "grid=DE&at=abc&horizon=60", wantStatus: 400, wantBody: "bad at"},
-		{name: "bad horizon", query: "grid=DE&at=0&horizon=abc", wantStatus: 400, wantBody: "bad horizon"},
-		{name: "NaN horizon", query: "grid=DE&horizon=NaN", wantStatus: 400, wantBody: "bad horizon: non-finite"},
-		{name: "Inf at", query: "grid=DE&at=Inf&horizon=60", wantStatus: 400, wantBody: "bad at: non-finite"},
+		{name: "bad at", query: "grid=DE&at=abc&horizon=60", wantStatus: 400, wantBody: "at: bad value"},
+		{name: "bad horizon", query: "grid=DE&at=0&horizon=abc", wantStatus: 400, wantBody: "horizon: bad value"},
+		{name: "NaN horizon", query: "grid=DE&horizon=NaN", wantStatus: 400, wantBody: "horizon: non-finite"},
+		{name: "Inf at", query: "grid=DE&at=Inf&horizon=60", wantStatus: 400, wantBody: "at: non-finite"},
 		{name: "unknown grid", query: "grid=XX&horizon=60", wantStatus: 404, wantBody: "unknown grid"},
 		{name: "at past trace end clamps", query: "grid=DE&at=1e9&horizon=120", wantStatus: 200, wantLo: 500, wantHi: 500},
 		{name: "negative at clamps", query: "grid=DE&at=-500&horizon=60", wantStatus: 200, wantLo: 300, wantHi: 400},
@@ -214,13 +214,13 @@ func TestWriteJSONEncodeError(t *testing.T) {
 func TestTraceParamErrorsNamed(t *testing.T) {
 	srv, _ := testServer(t)
 	for query, want := range map[string]string{
-		"grid=DE&from=abc": "bad from",
-		"grid=DE&n=abc":    "bad n",
-		"grid=DE&n=0":      "n must be at least 1",
+		"grid=DE&from=abc": "from: bad value",
+		"grid=DE&n=abc":    "n: bad value",
+		"grid=DE&n=0":      "n: must be at least 1",
 		// NaN defeats the n < 1 check (comparisons are false) and
 		// int(NaN) is MinInt64 — this used to panic the slice below.
-		"grid=DE&n=NaN":    "bad n: non-finite",
-		"grid=DE&from=Inf": "bad from: non-finite",
+		"grid=DE&n=NaN":    "n: non-finite",
+		"grid=DE&from=Inf": "from: non-finite",
 	} {
 		resp, err := http.Get(srv.URL + "/v1/trace?" + query)
 		if err != nil {

@@ -1,0 +1,57 @@
+package carbonapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ParamError reports a request input the server rejected, naming the
+// offending query parameter or body field — the same field-naming
+// convention as sched.ParamError, applied to the HTTP surface. Every
+// 400 this package writes originates from one of these (or from a
+// backend rejection wrapping ErrInvalidScenario / ErrInvalidPlacement,
+// which follow the same convention); the fielderr analyzer enforces it.
+type ParamError struct {
+	// Param is the query parameter or dotted body-field path.
+	Param string
+	// Msg explains the rejection.
+	Msg string
+}
+
+// Error implements error as "param: message".
+func (e *ParamError) Error() string { return e.Param + ": " + e.Msg }
+
+// badParam builds a *ParamError for the named parameter.
+func badParam(param, format string, args ...any) *ParamError {
+	return &ParamError{Param: param, Msg: fmt.Sprintf(format, args...)}
+}
+
+// badRequest answers 400 with the typed error's field-naming message.
+// It is the package's one blessed 400 writer: the fielderr analyzer
+// forbids direct StatusBadRequest writes elsewhere and checks, at every
+// call site of this sink, that the error is a *ParamError or was
+// guarded with errors.Is/errors.As against a typed rejection.
+//
+//pcaps:fielderr-sink
+func badRequest(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// decodeError converts a request-body decode failure into a
+// *ParamError, naming the offending JSON field when the decoder
+// reports one (type mismatches carry the dotted field path; the strict
+// decoder's unknown-field message already names the field and is kept
+// verbatim).
+func decodeError(what string, err error) *ParamError {
+	var ute *json.UnmarshalTypeError
+	if errors.As(err, &ute) && ute.Field != "" {
+		return badParam(ute.Field, "cannot decode %s value into %s", ute.Value, ute.Type)
+	}
+	var se *json.SyntaxError
+	if errors.As(err, &se) {
+		return badParam(what, "malformed JSON at offset %d: %v", se.Offset, err)
+	}
+	return badParam(what, "%v", err)
+}

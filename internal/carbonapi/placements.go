@@ -72,7 +72,7 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxPlacementBytes+1))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("reading placement request: %v", err), http.StatusBadRequest)
+		badRequest(w, badParam("body", "reading placement request: %v", err))
 		return
 	}
 	if len(body) > maxPlacementBytes {
@@ -85,18 +85,18 @@ func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var req PlacementRequest
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("decoding placement request: %v", err), http.StatusBadRequest)
+		badRequest(w, decodeError("body", err))
 		return
 	}
 	single := req.Policy != nil
 	if single == (len(req.Policies) > 0) {
-		http.Error(w, "placement: policy: exactly one of policy and policies must be set", http.StatusBadRequest)
+		badRequest(w, badParam("policy", "exactly one of policy and policies must be set"))
 		return
 	}
 	decisions, err := s.placements.Place(r.Context(), &req)
 	if err != nil {
 		if errors.Is(err, ErrInvalidPlacement) {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			badRequest(w, err)
 			return
 		}
 		log.Printf("carbonapi: placing: %v", err)

@@ -41,6 +41,8 @@ type SavingsDecomposition struct {
 // Timelines may have different lengths; missing entries are zero usage.
 // Theorem 4.6 (CAP) is the special case where aware never exceeds
 // agnostic before T, making SPlus zero.
+//
+//pcaps:hotpath
 func DecomposeSavings(agnostic, aware, intensity []float64) SavingsDecomposition {
 	var d SavingsDecomposition
 	at := func(xs []float64, i int) float64 {
@@ -98,6 +100,8 @@ func DecomposeSavings(agnostic, aware, intensity []float64) SavingsDecomposition
 // job's total runtime that was deferred by PCAPS's filter, measured as
 // deferred work over OPT₁ = total work. Clamped to [0, 1] as in the paper
 // (D ≤ 1 for any γ; D(0,c) = 0 because a γ=0 filter admits everything).
+//
+//pcaps:hotpath
 func DeferralFraction(deferredWork, totalWork float64) float64 {
 	if totalWork <= 0 || deferredWork <= 0 {
 		return 0

@@ -40,6 +40,8 @@ func (c *CAP) Thresholds() *ksearch.Thresholds { return c.th }
 // Quota returns the machine quota r(t) for the current carbon intensity
 // and records it for MinQuotaSeen. The quota is enforced without
 // preemption: callers only gate *new* assignments on it.
+//
+//pcaps:hotpath
 func (c *CAP) Quota(carbon float64) int {
 	q := c.th.Quota(carbon)
 	if q < c.minSeen {
@@ -53,6 +55,8 @@ func (c *CAP) MinQuotaSeen() int { return c.minSeen }
 
 // ParallelismLimit scales an underlying scheduler's per-stage parallelism
 // limit by the quota ratio (§5.1): P' = ⌈P · r(t)/K⌉, clamped to [1, P].
+//
+//pcaps:hotpath
 func (c *CAP) ParallelismLimit(planned int, carbon float64) int {
 	if planned <= 1 {
 		return 1

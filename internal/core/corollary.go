@@ -26,6 +26,8 @@ func AvgSavingsCAP(k, quota int, rhoAG, rhoCAP, c, phi float64) (exact, lowerBou
 // UtilizationFromUsage converts a busy executor-seconds timeline (one
 // entry per carbon interval of the given length) into average cluster
 // utilization over K machines — the ρ of the corollaries.
+//
+//pcaps:hotpath
 func UtilizationFromUsage(usage []float64, interval float64, k int) float64 {
 	if len(usage) == 0 || interval <= 0 || k <= 0 {
 		return 0
@@ -40,6 +42,8 @@ func UtilizationFromUsage(usage []float64, interval float64, k int) float64 {
 // ConditionalUtilization returns the average utilization restricted to
 // intervals whose intensity falls in [lo, hi) — the ρ_PCAPS(c) of
 // Corollary B.1, estimated from a finished run.
+//
+//pcaps:hotpath
 func ConditionalUtilization(usage, intensity []float64, interval float64, k int, lo, hi float64) float64 {
 	if interval <= 0 || k <= 0 {
 		return 0

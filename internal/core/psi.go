@@ -53,6 +53,8 @@ func NewPsi(gamma, l, u float64) (*Psi, error) {
 // Value evaluates Ψγ(r). r is clamped to [0, 1]. For γ = 0 the expression
 // is the constant U (its analytic limit), so carbon-agnostic behaviour is
 // exact rather than a 0/0 artifact.
+//
+//pcaps:hotpath
 func (p *Psi) Value(r float64) float64 {
 	if r < 0 {
 		r = 0
@@ -69,6 +71,8 @@ func (p *Psi) Value(r float64) float64 {
 // carbon-awareness filter at carbon intensity c (Alg. 1 line 7, without
 // the no-busy-machines liveness override, which is cluster state the
 // caller owns).
+//
+//pcaps:hotpath
 func (p *Psi) Admits(r, c float64) bool { return p.Value(r) >= c }
 
 // ParallelismLimit returns PCAPS's carbon-scaled parallelism limit
@@ -84,6 +88,8 @@ func (p *Psi) Admits(r, c float64) bool { return p.Value(r) >= c }
 // reports for mild γ (Fig. 7). We therefore normalize the excursion by
 // the forecast range (κ = 4, so the scale spans e⁰..e^{−4γ} across
 // [L, U]), preserving the stated endpoint behaviour on any grid.
+//
+//pcaps:hotpath
 func (p *Psi) ParallelismLimit(planned int, c float64) int {
 	if planned <= 1 {
 		return 1
@@ -112,6 +118,8 @@ func (p *Psi) ParallelismLimit(planned int, c float64) int {
 // the distribution is degenerate (empty, all-zero, or single-element), the
 // convention of Def. 4.2 (|A_t| = 1 ⇒ importance 1), which also preserves
 // the liveness of Alg. 1.
+//
+//pcaps:hotpath
 func RelativeImportance(probs []float64, v int) float64 {
 	if v < 0 || v >= len(probs) || len(probs) <= 1 {
 		return 1

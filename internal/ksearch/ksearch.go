@@ -38,6 +38,8 @@ type Thresholds struct {
 // k must be ≥ 1 and 0 < L < U. The left side is continuous and the
 // difference LHS−RHS is strictly increasing on (1, ∞), going from −∞ to
 // 1 − (U−L)/U > 0, so a unique root exists.
+//
+//pcaps:hotpath
 func Alpha(k int, l, u float64) float64 {
 	lhs := func(a float64) float64 {
 		return math.Pow(1+1/(float64(k)*a), float64(k))
@@ -113,6 +115,8 @@ func NewThresholds(k, b int, l, u float64) (*Thresholds, error) {
 // r(t) ← argmax_{i} Φ_i : Φ_i ≤ c(t). Because Φ decreases from U toward L
 // as the index grows, high carbon maps to the floor B and carbon below
 // every threshold unlocks all K machines.
+//
+//pcaps:hotpath
 func (t *Thresholds) Quota(c float64) int {
 	// Phi[i] = Φ_{B+i} is non-increasing in i; find the smallest i with
 	// Φ_{B+i} ≤ c. Binary search over the reversed ordering.
@@ -134,6 +138,8 @@ func (t *Thresholds) Quota(c float64) int {
 // MinQuota returns M(B, c), the minimum quota CAP would set over the trace
 // values supplied — the quantity that drives CAP's carbon stretch factor
 // (Theorem 4.5).
+//
+//pcaps:hotpath
 func (t *Thresholds) MinQuota(intensities []float64) int {
 	m := t.K
 	for _, c := range intensities {

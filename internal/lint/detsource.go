@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detAmbientMarker waives one detsource finding. The reason is
+// mandatory and inventoried: ambient inputs are only ever legitimate
+// when the measured quantity is itself wall-clock (fig20's live Pick
+// latency) — everything else breaks run purity.
+const detAmbientMarker = "//det:ambient"
+
+// detForbidden maps package path → function name → explanation. Only
+// package-level functions are matched: rand.Intn (global source) is
+// forbidden, (*rand.Rand).Intn on a seeded generator is fine.
+var detForbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock input; derive times from the simulation clock",
+		"Since": "wall-clock input; derive durations from the simulation clock",
+		"Until": "wall-clock input; derive durations from the simulation clock",
+	},
+	"os": {
+		"Getenv":    "ambient environment read; thread configuration through Config/Spec",
+		"LookupEnv": "ambient environment read; thread configuration through Config/Spec",
+		"Environ":   "ambient environment read; thread configuration through Config/Spec",
+	},
+}
+
+// detRandGlobals are the math/rand package-level functions that draw
+// from the shared global source. Constructors (New, NewSource, NewZipf)
+// are allowed — they are how seeded generators are built.
+var detRandGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// DetSource forbids ambient inputs — wall-clock time, the global
+// math/rand source, environment variables, and literal-constant RNG
+// seeds — in the determinism-critical packages. A run must be a pure
+// function of (spec, jobs, seed); any of these constructs makes it a
+// function of the machine it ran on.
+var DetSource = &Analyzer{
+	Name:     "detsource",
+	Doc:      "forbid wall-clock, global-randomness, and environment reads in determinism-critical packages",
+	Packages: inDetPackages("detsource"),
+	Run:      runDetSource,
+}
+
+func runDetSource(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fname, ok := p.pkgLevelCallee(sel)
+			if !ok {
+				return true
+			}
+			if why := detForbiddenWhy(pkgPath, fname); why != "" {
+				if reason, waived := p.waiverAt(call, detAmbientMarker); waived {
+					p.Waive(call.Pos(), detAmbientMarker, reason)
+					return true
+				}
+				p.Report(call.Pos(), "%s.%s: %s", pkgImportName(pkgPath), fname, why)
+				return true
+			}
+			// Seeded construction is allowed, but the seed must come
+			// from somewhere — a literal constant hard-codes one stream
+			// for every run and bypasses internal/seed's domain
+			// separation.
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && fname == "NewSource" && len(call.Args) == 1 {
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+					if reason, waived := p.waiverAt(call, detAmbientMarker); waived {
+						p.Waive(call.Pos(), detAmbientMarker, reason)
+						return true
+					}
+					p.Report(call.Pos(), "rand.NewSource(%s): literal RNG seed; derive seeds via internal/seed", lit.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func detForbiddenWhy(pkgPath, fname string) string {
+	if m, ok := detForbidden[pkgPath]; ok {
+		return m[fname]
+	}
+	if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && detRandGlobals[fname] {
+		return "draws from the shared global source; construct a *rand.Rand from a seed derived via internal/seed"
+	}
+	return ""
+}
+
+// pkgLevelCallee resolves pkg.Fn selector calls to (package path,
+// function name). Method calls and non-package selectors return ok =
+// false.
+func (p *Pass) pkgLevelCallee(sel *ast.SelectorExpr) (string, string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	obj, ok := p.Info.Uses[id]
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+func pkgImportName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

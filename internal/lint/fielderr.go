@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"net/http"
+	"strings"
+)
+
+// FieldErrSinkMarker designates the one blessed 400 writer in an API
+// package: a function that takes the typed error and answers
+// http.StatusBadRequest with its field-naming message. All other 400
+// writes are violations — routing every rejection through the sink is
+// what lets the analyzer check, at each call site, that the error is
+// typed.
+const FieldErrSinkMarker = "//pcaps:fielderr-sink"
+
+// errUntypedMarker waives one untyped-400 finding; errUnknownFieldsMarker
+// waives one missing-DisallowUnknownFields finding. Reasons are
+// mandatory and inventoried.
+const (
+	errUntypedMarker       = "//err:untyped"
+	errUnknownFieldsMarker = "//err:unknownfields"
+)
+
+// FieldErr enforces the carbonapi error contract (DESIGN.md §§4–6):
+// every 400-path originates from a typed field-naming error
+// (*ParamError, or a sentinel guarded via errors.Is/errors.As — the
+// ErrInvalidScenario / ErrInvalidPlacement conventions), and every
+// json.Decoder in handler code calls DisallowUnknownFields so a
+// misspelled request field is rejected by name instead of silently
+// taking a default.
+var FieldErr = &Analyzer{
+	Name: "fielderr",
+	Doc:  "require typed field-naming errors on 400 paths and DisallowUnknownFields on handler decoders",
+	Packages: func(path string) bool {
+		return path == "pcaps/internal/carbonapi" ||
+			(strings.Contains(path, "testdata") && strings.HasSuffix(path, "/fielderr"))
+	},
+	Run: runFieldErr,
+}
+
+func runFieldErr(p *Pass) {
+	sinks := p.fieldErrSinks()
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			isSink := funcAnnotated(fn, FieldErrSinkMarker)
+			p.checkBadRequestWrites(fn, isSink)
+			p.checkSinkCalls(fn, sinks)
+			if p.isHandlerFunc(fn) {
+				p.checkDecoders(fn)
+			}
+		}
+	}
+}
+
+// fieldErrSinks collects the objects of //pcaps:fielderr-sink-annotated
+// functions in this package.
+func (p *Pass) fieldErrSinks() map[types.Object]bool {
+	sinks := make(map[types.Object]bool)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !funcAnnotated(fn, FieldErrSinkMarker) {
+				continue
+			}
+			if obj := p.Info.Defs[fn.Name]; obj != nil {
+				sinks[obj] = true
+			}
+		}
+	}
+	return sinks
+}
+
+// checkBadRequestWrites flags direct 400 writes (http.Error or
+// WriteHeader with StatusBadRequest) outside the annotated sink.
+func (p *Pass) checkBadRequestWrites(fn *ast.FuncDecl, isSink bool) {
+	if isSink {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if !p.isBadRequestConst(arg) {
+				continue
+			}
+			if reason, waived := p.waiverAt(call, errUntypedMarker); waived {
+				p.Waive(call.Pos(), errUntypedMarker, reason)
+				return true
+			}
+			p.Report(call.Pos(), "direct 400 write: route rejections through the %s sink with a typed field-naming error", FieldErrSinkMarker)
+			return true
+		}
+		return true
+	})
+}
+
+// isBadRequestConst reports whether the expression is the constant 400.
+func (p *Pass) isBadRequestConst(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return ok && v == http.StatusBadRequest
+}
+
+// checkSinkCalls verifies that every call to a sink passes a typed
+// error: static type *ParamError, or an identifier guarded by
+// errors.Is against an ErrInvalid* sentinel (or errors.As into a
+// *ParamError) in an enclosing if condition.
+func (p *Pass) checkSinkCalls(fn *ast.FuncDecl, sinks map[types.Object]bool) {
+	if len(sinks) == 0 {
+		return
+	}
+	var stack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.calleeObject(call)
+			if callee == nil || !sinks[callee] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if !p.isErrorTyped(arg) {
+					continue
+				}
+				if p.isTypedFieldError(arg) || p.guardedTyped(stack, arg) {
+					continue
+				}
+				if reason, waived := p.waiverAt(call, errUntypedMarker); waived {
+					p.Waive(call.Pos(), errUntypedMarker, reason)
+					continue
+				}
+				p.Report(arg.Pos(), "untyped error reaches the 400 sink: construct a *ParamError naming the offending field, or guard with errors.Is/errors.As against a typed rejection")
+			}
+			return true
+		})
+	}
+	walk(fn.Body)
+}
+
+// isErrorTyped reports whether the expression's static type implements
+// (or is) error.
+func (p *Pass) isErrorTyped(e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	return types.AssignableTo(t, errType)
+}
+
+// isTypedFieldError accepts expressions whose static type is
+// *ParamError (any package — internal/sched's and internal/carbonapi's
+// conventions share the name and Field+Msg shape).
+func (p *Pass) isTypedFieldError(e ast.Expr) bool {
+	return isParamErrorType(p.typeOf(e))
+}
+
+func isParamErrorType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "ParamError"
+}
+
+// guardedTyped reports whether the argument identifier is, in one of
+// the enclosing if conditions, checked with errors.Is against an
+// ErrInvalid* sentinel or errors.As into a *ParamError.
+func (p *Pass) guardedTyped(stack []ast.Node, arg ast.Expr) bool {
+	obj := p.objectOf(arg)
+	if obj == nil {
+		return false
+	}
+	for _, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if p.condProvesTyped(ifStmt.Cond, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// condProvesTyped scans a condition for errors.Is(obj, ErrInvalid*) or
+// errors.As(obj, &(*ParamError)).
+func (p *Pass) condProvesTyped(cond ast.Expr, obj types.Object) bool {
+	proved := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, fname, ok := p.pkgLevelCallee(sel)
+		if !ok || pkgPath != "errors" || len(call.Args) != 2 {
+			return true
+		}
+		if p.objectOf(call.Args[0]) != obj {
+			return true
+		}
+		switch fname {
+		case "Is":
+			if target := p.objectOf(call.Args[1]); target != nil && strings.HasPrefix(target.Name(), "ErrInvalid") {
+				proved = true
+			}
+		case "As":
+			if unary, ok := ast.Unparen(call.Args[1]).(*ast.UnaryExpr); ok {
+				if isParamErrorType(p.typeOf(unary.X)) {
+					proved = true
+				}
+			}
+		}
+		return !proved
+	})
+	return proved
+}
+
+// isHandlerFunc reports whether the function takes an
+// http.ResponseWriter parameter — the analyzer's definition of
+// "handler code". Client-side decoders (reading responses we produced)
+// are exempt: DisallowUnknownFields there would break forward
+// compatibility with a newer server.
+func (p *Pass) isHandlerFunc(fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		if named.Obj().Name() == "ResponseWriter" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "net/http" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDecoders requires DisallowUnknownFields on every json.Decoder
+// whose Decode runs inside a handler function.
+func (p *Pass) checkDecoders(fn *ast.FuncDecl) {
+	// Objects on which DisallowUnknownFields is called.
+	strict := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if obj := p.objectOf(sel.X); obj != nil {
+			strict[obj] = true
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Decode" || !p.isJSONDecoder(sel.X) {
+			return true
+		}
+		if obj := p.objectOf(sel.X); obj != nil && strict[obj] {
+			return true
+		}
+		if reason, waived := p.waiverAt(call, errUnknownFieldsMarker); waived {
+			p.Waive(call.Pos(), errUnknownFieldsMarker, reason)
+			return true
+		}
+		p.Report(call.Pos(), "handler decoder without DisallowUnknownFields: a misspelled request field would silently take a default")
+		return true
+	})
+}
+
+// isJSONDecoder reports whether the expression is an
+// *encoding/json.Decoder.
+func (p *Pass) isJSONDecoder(e ast.Expr) bool {
+	t := p.typeOf(e)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Decoder" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "encoding/json"
+}
+
+// calleeObject resolves the called function to its object (plain ident
+// or method/selector call).
+func (p *Pass) calleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathMarker annotates a function whose steady-state execution must
+// not allocate: Pick implementations, the simulator's view accessors,
+// the solver inner loops — everything the AllocsPerRun guard tests pin.
+// hotalloc statically checks the body of every annotated function for
+// allocating constructs; the dynamic guards remain the ground truth,
+// but the analyzer catches the regression at compile time instead of at
+// test time (and covers branches a guard's fixed input never takes).
+const HotPathMarker = "//pcaps:hotpath"
+
+// hotAllocMarker waives one hotalloc finding. Legitimate reasons are
+// narrow: amortized scratch growth that reaches a steady state (the
+// solver's level ladder), or one-time lazy initialization on the first
+// call (a policy's RNG). The reason is mandatory and inventoried.
+const hotAllocMarker = "//hot:alloc"
+
+// HotAlloc checks //pcaps:hotpath-annotated functions for allocating
+// constructs: make/new, map writes, escaping composite literals and
+// closures, append without reuse evidence, fmt calls, string
+// concatenation and conversion, and interface boxing of non-pointer
+// values.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs in //pcaps:hotpath-annotated functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcAnnotated(fn, HotPathMarker) {
+				continue
+			}
+			p.checkHotFunc(fn)
+		}
+	}
+}
+
+// checkHotFunc walks one annotated function body.
+func (p *Pass) checkHotFunc(fn *ast.FuncDecl) {
+	reused := p.reusedSlices(fn)
+	flag := func(n ast.Node, format string, args ...any) {
+		if reason, waived := p.waiverAt(n, hotAllocMarker); waived {
+			p.Waive(n.Pos(), hotAllocMarker, reason)
+			return
+		}
+		p.Report(n.Pos(), format, args...)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			p.checkHotCall(n, reused, flag)
+		case *ast.CompositeLit:
+			switch p.typeOf(n).Underlying().(type) {
+			case *types.Slice:
+				flag(n, "slice literal allocates on the hot path")
+			case *types.Map:
+				flag(n, "map literal allocates on the hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flag(n, "&composite literal escapes to the heap on the hot path")
+				}
+			}
+		case *ast.FuncLit:
+			// A closure bound to a local variable and only called stays
+			// on the stack; anything else (call argument, return value,
+			// go/defer, field assignment) escapes.
+			if !p.funcLitIsLocal(fn, n) {
+				flag(n, "escaping closure allocates on the hot path")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := p.typeOf(idx.X).Underlying().(*types.Map); isMap {
+						flag(n, "map write may allocate on the hot path")
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := p.Info.Types[n]; ok && tv.Value == nil {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						flag(n, "string concatenation allocates on the hot path")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			flag(n, "goroutine launch on the hot path")
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped rules: builtins, fmt, string
+// conversions, and interface boxing of arguments.
+func (p *Pass) checkHotCall(call *ast.CallExpr, reused map[types.Object]bool, flag func(ast.Node, string, ...any)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				flag(call, "make allocates on the hot path")
+			case "new":
+				flag(call, "new allocates on the hot path")
+			case "append":
+				if len(call.Args) > 0 && !p.appendHasReuseEvidence(call.Args[0], reused) {
+					flag(call, "append without reuse evidence (reslice the destination with s[:0], or grow scratch outside the hot path)")
+				}
+			}
+			return
+		}
+	}
+	// Conversions: string([]byte), []byte(string), string([]rune), ...
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type.Underlying(), p.typeOf(call.Args[0]).Underlying()
+		if isStringByteConversion(to, from) {
+			flag(call, "string conversion allocates on the hot path")
+		}
+		return
+	}
+	// fmt.* always boxes its variadic operands.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgPath, fname, ok := p.pkgLevelCallee(sel); ok && pkgPath == "fmt" {
+			flag(call, "fmt.%s allocates (variadic boxing) on the hot path", fname)
+			return
+		}
+	}
+	// Interface boxing: a non-pointer concrete argument passed to an
+	// interface-typed parameter is copied to the heap.
+	sig, ok := p.calleeSignature(call)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.typeOf(arg)
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer:
+			continue
+		}
+		flag(arg, "argument boxes %s into interface %s on the hot path", at, pt)
+	}
+}
+
+// reusedSlices collects objects assigned from a reslice expression —
+// X = X[:0] (in-place scratch reset) or X := Y[:0] (a view over
+// preallocated scratch). Appending to either reuses existing backing
+// storage at steady state.
+func (p *Pass) reusedSlices(fn *ast.FuncDecl) map[types.Object]bool {
+	reused := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if _, ok := ast.Unparen(rhs).(*ast.SliceExpr); !ok || i >= len(assign.Lhs) {
+				continue
+			}
+			if lobj := p.objectOf(assign.Lhs[i]); lobj != nil {
+				reused[lobj] = true
+			}
+		}
+		return true
+	})
+	return reused
+}
+
+// appendHasReuseEvidence accepts append destinations that are reslices
+// (append(s[:0], ...)) or objects resliced in place elsewhere in the
+// function (s = s[:0]; ...; s = append(s, ...)).
+func (p *Pass) appendHasReuseEvidence(dst ast.Expr, reused map[types.Object]bool) bool {
+	dst = ast.Unparen(dst)
+	if _, ok := dst.(*ast.SliceExpr); ok {
+		return true
+	}
+	if obj := p.objectOf(dst); obj != nil && reused[obj] {
+		return true
+	}
+	return false
+}
+
+// funcLitIsLocal reports whether the closure is the RHS of a
+// short-variable declaration or assignment to a plain local identifier.
+func (p *Pass) funcLitIsLocal(fn *ast.FuncDecl, lit *ast.FuncLit) bool {
+	local := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if ast.Unparen(rhs) != lit || i >= len(assign.Lhs) {
+				continue
+			}
+			if _, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok {
+				local = true
+			}
+		}
+		return true
+	})
+	return local
+}
+
+// calleeSignature resolves the called function's signature, if the call
+// is an ordinary (non-builtin, non-conversion) call.
+func (p *Pass) calleeSignature(call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramTypeAt returns the type of parameter i, expanding the variadic
+// tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := params.At(n - 1).Type()
+		if slice, ok := last.(*types.Slice); ok {
+			return slice.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func isUntypedNil(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Kind() == types.UntypedNil
+}
+
+func isStringByteConversion(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	basic, ok := t.(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	slice, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem, ok := slice.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	k := elem.Kind()
+	return k == types.Uint8 || k == types.Int32
+}

@@ -1,0 +1,269 @@
+// Package lint implements pcapslint, the repository's custom static
+// analyzer suite. Every result in this reproduction rests on one
+// invariant — a run is a pure function of (spec, jobs, seed) — and the
+// golden/race/alloc tests enforce it only dynamically: a stray
+// time.Now, an unseeded math/rand call, or an unsorted map range can
+// survive until a golden flakes. The four analyzers here turn those
+// determinism, hot-path, and API-error contracts (DESIGN.md §§3–7) into
+// machine-checked source-level rules:
+//
+//	detsource — no ambient time/randomness/environment in
+//	            determinism-critical packages
+//	maporder  — no order-dependent map iteration there either
+//	hotalloc  — functions annotated //pcaps:hotpath must not contain
+//	            allocating constructs
+//	fielderr  — every 400-path in internal/carbonapi originates from a
+//	            typed field-naming error, and handler-side JSON decoders
+//	            reject unknown fields
+//
+// The suite is modelled on golang.org/x/tools/go/analysis but is built
+// on the standard library alone (go/ast + go/types over `go list
+// -export` data), because the module is deliberately dependency-free:
+// pcapslint must be runnable in the same hermetic environment as the
+// tier-1 tests. The driver lives in cmd/pcapslint and is wired through
+// `make lint` / `make vet`; DESIGN.md §8 documents each analyzer's
+// contract and waiver syntax.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Pass carries one type-checked package through an analyzer, mirroring
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags   []Diagnostic
+	waivers []Waiver
+	// analyzer is the pass owner; set by Run.
+	analyzer *Analyzer
+	// comments caches per-file line→comment-text lookups for waiver
+	// scanning.
+	comments map[*ast.File]lineComments
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Waiver records one annotation that suppressed a diagnostic. Waivers
+// are not silent: the driver inventories every one so that exceptions
+// to the contracts stay visible in `make lint` output.
+type Waiver struct {
+	Analyzer string
+	Pos      token.Position
+	Marker   string // the annotation, e.g. "//det:unordered"
+	Reason   string
+}
+
+func (w Waiver) String() string {
+	return fmt.Sprintf("%s: %s: waived [%s] %s", w.Pos, w.Analyzer, w.Marker, w.Reason)
+}
+
+// Analyzer is one static check. Run appends findings via Pass.Report
+// and waiver records via Pass.Waive.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages restricts the analyzer to import paths for which the
+	// predicate returns true; nil means every loaded package.
+	Packages func(path string) bool
+	Run      func(*Pass)
+}
+
+// Report records a violation at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Waive records that the annotation at pos suppressed a finding.
+func (p *Pass) Waive(pos token.Pos, marker, reason string) {
+	p.waivers = append(p.waivers, Waiver{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Marker:   marker,
+		Reason:   reason,
+	})
+}
+
+// lineComments maps a line number to the comment texts that start on it.
+type lineComments map[int][]string
+
+// waiverAt looks for a waiver annotation with the given marker (e.g.
+// "//det:unordered") attached to the node: on the node's own line or on
+// the line directly above it. It returns the trimmed reason and whether
+// the annotation was found; an annotation without a reason does not
+// count — waivers must say why.
+func (p *Pass) waiverAt(node ast.Node, marker string) (string, bool) {
+	file := p.fileOf(node.Pos())
+	if file == nil {
+		return "", false
+	}
+	if p.comments == nil {
+		p.comments = make(map[*ast.File]lineComments)
+	}
+	lc, ok := p.comments[file]
+	if !ok {
+		lc = make(lineComments)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				line := p.Fset.Position(c.Pos()).Line
+				lc[line] = append(lc[line], c.Text)
+			}
+		}
+		p.comments[file] = lc
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	for _, l := range []int{line, line - 1} {
+		for _, text := range lc[l] {
+			if reason, ok := waiverReason(text, marker); ok {
+				return reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// waiverReason parses "//<marker> <reason>" comment text. The marker
+// must match exactly (e.g. "//det:unordered"); a non-empty reason is
+// required for the waiver to take effect.
+func waiverReason(comment, marker string) (string, bool) {
+	text := strings.TrimSpace(comment)
+	if !strings.HasPrefix(text, marker) {
+		return "", false
+	}
+	rest := text[len(marker):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //det:unorderedX
+	}
+	reason := strings.TrimSpace(rest)
+	if reason == "" {
+		return "", false
+	}
+	return reason, true
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcAnnotated reports whether the function declaration's doc comment
+// carries the given marker (e.g. "//pcaps:hotpath") as a standalone
+// directive line.
+func funcAnnotated(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// DetPackages is the determinism-critical package set of DESIGN.md §§3,
+// 5, 7: everything on the simulate/schedule/solve path whose output is
+// pinned by goldens and serial-vs-parallel equality. detsource and
+// maporder run here.
+var DetPackages = []string{
+	"pcaps/internal/sim",
+	"pcaps/internal/sched",
+	"pcaps/internal/optimal",
+	"pcaps/internal/core",
+	"pcaps/internal/ksearch",
+	"pcaps/internal/experiments",
+	"pcaps/internal/scenario",
+	"pcaps/internal/federation",
+	"pcaps/internal/workload",
+}
+
+// inDetPackages matches the determinism-critical set. Fixture packages
+// (internal/lint/testdata) opt in by ending their import path with the
+// analyzer's name, so the contract is testable outside the real tree.
+func inDetPackages(name string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range DetPackages {
+			if path == p {
+				return true
+			}
+		}
+		return strings.HasSuffix(path, "/"+name) && strings.Contains(path, "testdata")
+	}
+}
+
+// Suite returns the four analyzers in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{DetSource, MapOrder, HotAlloc, FieldErr}
+}
+
+// Result is the outcome of running a suite over loaded packages.
+type Result struct {
+	Diagnostics []Diagnostic
+	Waivers     []Waiver
+}
+
+// Run applies each analyzer to each loaded package it matches and
+// returns all findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Packages != nil && !a.Packages(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				analyzer: a,
+			}
+			a.Run(pass)
+			res.Diagnostics = append(res.Diagnostics, pass.diags...)
+			res.Waivers = append(res.Waivers, pass.waivers...)
+		}
+	}
+	sortByPos := func(pi, pj token.Position) bool {
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		return sortByPos(res.Diagnostics[i].Pos, res.Diagnostics[j].Pos)
+	})
+	sort.Slice(res.Waivers, func(i, j int) bool {
+		return sortByPos(res.Waivers[i].Pos, res.Waivers[j].Pos)
+	})
+	return res
+}

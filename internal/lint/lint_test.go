@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markerRe matches the fixture expectation syntax: `// want `<regex>“
+// expects a diagnostic on that line whose message matches, and
+// `// waived `<regex>“ expects a recorded waiver whose "marker reason"
+// string matches. This is the analysistest convention, reduced to what
+// the homegrown driver needs.
+var markerRe = regexp.MustCompile("// (want|waived) `([^`]+)`")
+
+// runFixture loads testdata/src/<name> as a package, runs one analyzer
+// over it, and checks the diagnostics and waivers against the fixture's
+// inline markers — every marker must be hit, and nothing unexpected may
+// be reported.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := LoadDir("../..", dir, "pcaps/internal/lint/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	res := Run([]*Package{pkg}, []*Analyzer{a})
+
+	type expect struct {
+		kind string // "want" or "waived"
+		re   *regexp.Regexp
+		hit  bool
+	}
+	expects := make(map[string][]*expect) // "file:line" → expectations
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range markerRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad marker pattern %q: %v", path, i+1, m[2], err)
+				}
+				key := fmt.Sprintf("%s:%d", path, i+1)
+				expects[key] = append(expects[key], &expect{kind: m[1], re: re})
+			}
+		}
+	}
+
+	match := func(kind, key, text string) bool {
+		for _, e := range expects[key] {
+			if e.kind == kind && !e.hit && e.re.MatchString(text) {
+				e.hit = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range res.Diagnostics {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !match("want", key, d.Message) {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for _, w := range res.Waivers {
+		key := fmt.Sprintf("%s:%d", w.Pos.Filename, w.Pos.Line)
+		if !match("waived", key, strings.TrimPrefix(w.Marker, "//")+" "+w.Reason) {
+			t.Errorf("unexpected waiver at %s: [%s] %s", key, w.Marker, w.Reason)
+		}
+	}
+	for key, list := range expects {
+		for _, e := range list {
+			if !e.hit {
+				t.Errorf("%s: expected %s matching %q, got none", key, e.kind, e.re)
+			}
+		}
+	}
+}
+
+func TestDetSourceFixture(t *testing.T) { runFixture(t, DetSource, "detsource") }
+func TestMapOrderFixture(t *testing.T)  { runFixture(t, MapOrder, "maporder") }
+func TestHotAllocFixture(t *testing.T)  { runFixture(t, HotAlloc, "hotalloc") }
+func TestFieldErrFixture(t *testing.T)  { runFixture(t, FieldErr, "fielderr") }
+
+// TestRepoIsClean runs the whole suite over the real module: the lint
+// gate is part of the test suite, not only of `make lint`, so a
+// violation cannot land through a path that skips the Makefile.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint skipped in -short mode")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	res := Run(pkgs, Suite())
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detUnorderedMarker waives one maporder finding: the author asserts the
+// loop body is genuinely order-independent (e.g. integer counting,
+// set membership collection that is sorted elsewhere). The reason is
+// mandatory and inventoried. Note that float accumulation is NOT
+// order-independent — addition does not associate in IEEE 754.
+const detUnorderedMarker = "//det:unordered"
+
+// MapOrder flags `for range` over map values in determinism-critical
+// packages. Go randomizes map iteration order per run, so any map range
+// whose body's effect depends on visit order silently breaks the
+// serial-vs-parallel and golden guarantees. A range is accepted without
+// a waiver only when it provably feeds a sort: the loop body collects
+// keys or values into slices, and every one of those slices is passed
+// to a sort.* / slices.Sort* call later in the same function.
+var MapOrder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "flag order-dependent map iteration in determinism-critical packages",
+	Packages: inDetPackages("maporder"),
+	Run:      runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			p.checkMapRanges(fn)
+		}
+	}
+}
+
+func (p *Pass) checkMapRanges(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if reason, waived := p.waiverAt(rng, detUnorderedMarker); waived {
+			p.Waive(rng.Pos(), detUnorderedMarker, reason)
+			return true
+		}
+		if p.feedsSort(fn, rng) {
+			return true
+		}
+		p.Report(rng.Pos(), "range over map %s: iteration order is randomized; collect and sort keys, or annotate %s <reason>",
+			types.ExprString(rng.X), detUnorderedMarker)
+		return true
+	})
+}
+
+// feedsSort reports whether every slice the loop body appends to is
+// subsequently passed to a recognized sorting call within the same
+// function. A loop that appends to nothing (or to something never
+// sorted) does not qualify.
+func (p *Pass) feedsSort(fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	// Collect the objects appended to inside the loop body.
+	var appended []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !p.isBuiltin(call.Fun, "append") || len(call.Args) == 0 {
+				continue
+			}
+			// The append target must be the assignee (s = append(s, ...)).
+			if i >= len(assign.Lhs) {
+				continue
+			}
+			if obj := p.objectOf(assign.Lhs[i]); obj != nil {
+				appended = append(appended, obj)
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return false
+	}
+	// Every appended slice must reach a sort call later in the function.
+	for _, obj := range appended {
+		if !p.sortedAfter(fn, rng, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether obj is an argument of a sort.* or
+// slices.Sort* call positioned after the range statement in fn.
+func (p *Pass) sortedAfter(fn *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, fname, ok := p.pkgLevelCallee(sel)
+		if !ok {
+			return true
+		}
+		isSort := pkgPath == "sort" ||
+			(pkgPath == "slices" && len(fname) >= 4 && fname[:4] == "Sort")
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if p.objectOf(arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// objectOf resolves an expression to the variable it names, seeing
+// through parentheses. Selector expressions resolve to the field.
+func (p *Pass) objectOf(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isBuiltin reports whether fun names the given predeclared builtin.
+func (p *Pass) isBuiltin(fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}

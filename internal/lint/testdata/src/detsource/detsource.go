@@ -1,0 +1,51 @@
+// Package detsource is a pcapslint fixture: its import path opts into
+// the determinism-critical set, and each construct below carries a
+// `// want` or `// waived` marker the analyzer tests assert against.
+package detsource
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// wallClock uses ambient time twice; both calls are violations.
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now: wall-clock input`
+	return time.Since(start) // want `time\.Since: wall-clock input`
+}
+
+// globalRand draws from math/rand's shared global source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn: draws from the shared global source`
+}
+
+// envRead pulls configuration out of the ambient environment.
+func envRead() string {
+	return os.Getenv("PCAPS_MODE") // want `os\.Getenv: ambient environment read`
+}
+
+// fixedSeed hard-codes one RNG stream for every run.
+func fixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `literal RNG seed`
+}
+
+// seeded builds a generator from a seed threaded in by the caller —
+// the sanctioned construction, no finding.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// perRand calls Intn on a seeded *rand.Rand, not the global source —
+// allowed.
+func perRand(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// measuredLatency is the one legitimate ambient-time shape: the
+// measured quantity is itself wall-clock, and the waiver says so.
+func measuredLatency() int64 {
+	//det:ambient fixture: the measured quantity is wall-clock itself
+	t0 := time.Now() // waived `det:ambient fixture: the measured quantity is wall-clock itself`
+	return t0.UnixNano()
+}

@@ -1,0 +1,106 @@
+// Package fielderr is a pcapslint fixture: a self-contained mirror of
+// the carbonapi error contract — one blessed sink, a ParamError type,
+// an ErrInvalid* sentinel — with `// want` and `// waived` markers the
+// analyzer tests assert against.
+package fielderr
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+var ErrInvalidThing = errors.New("thing: invalid")
+
+type ParamError struct {
+	Param string
+	Msg   string
+}
+
+func (e *ParamError) Error() string { return e.Param + ": " + e.Msg }
+
+// badRequest is the blessed 400 writer.
+//
+//pcaps:fielderr-sink
+func badRequest(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// direct writes a 400 without going through the sink.
+func direct(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusBadRequest) // want `direct 400 write`
+}
+
+// typed routes a *ParamError through the sink — the sanctioned shape.
+func typed(w http.ResponseWriter) {
+	badRequest(w, &ParamError{Param: "n", Msg: "must be positive"})
+}
+
+// untyped hands the sink a bare error with no field-naming guarantee.
+func untyped(w http.ResponseWriter, err error) {
+	badRequest(w, err) // want `untyped error reaches the 400 sink`
+}
+
+// guardedIs reaches the sink only after errors.Is proves the rejection
+// is the typed sentinel — allowed.
+func guardedIs(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrInvalidThing) {
+		badRequest(w, err)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// guardedAs reaches the sink only after errors.As proves the error is
+// a *ParamError — allowed.
+func guardedAs(w http.ResponseWriter, err error) {
+	var pe *ParamError
+	if errors.As(err, &pe) {
+		badRequest(w, err)
+	}
+}
+
+// waivedSink suppresses the untyped finding with a reasoned waiver.
+func waivedSink(w http.ResponseWriter, err error) {
+	//err:untyped fixture: upstream already formats field-shaped messages
+	badRequest(w, err) // waived `err:untyped fixture: upstream already formats field-shaped messages`
+}
+
+// decodeLoose decodes a request body without DisallowUnknownFields, so
+// a misspelled field silently takes its default.
+func decodeLoose(w http.ResponseWriter, r *http.Request) {
+	var v struct{ N int }
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&v); err != nil { // want `handler decoder without DisallowUnknownFields`
+		badRequest(w, &ParamError{Param: "body", Msg: err.Error()})
+	}
+}
+
+// decodeStrict is the sanctioned handler-decoder shape.
+func decodeStrict(w http.ResponseWriter, r *http.Request) {
+	var v struct{ N int }
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		badRequest(w, &ParamError{Param: "body", Msg: err.Error()})
+	}
+}
+
+// decodeWaived suppresses the decoder finding with a reasoned waiver.
+func decodeWaived(w http.ResponseWriter, r *http.Request) {
+	var v struct{ N int }
+	dec := json.NewDecoder(r.Body)
+	//err:unknownfields fixture: mirror endpoint accepts forward-compatible payloads
+	if err := dec.Decode(&v); err != nil { // waived `err:unknownfields fixture: mirror endpoint accepts forward-compatible payloads`
+		badRequest(w, &ParamError{Param: "body", Msg: err.Error()})
+	}
+}
+
+// clientDecode has no ResponseWriter parameter: it is client code, and
+// the unknown-fields rule does not apply.
+func clientDecode(r *http.Request) int {
+	var v struct{ N int }
+	dec := json.NewDecoder(r.Body)
+	_ = dec.Decode(&v)
+	return v.N
+}

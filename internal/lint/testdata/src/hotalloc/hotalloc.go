@@ -1,0 +1,149 @@
+// Package hotalloc is a pcapslint fixture: functions annotated
+// //pcaps:hotpath are checked for allocating constructs, and each
+// construct below carries a `// want` or `// waived` marker the
+// analyzer tests assert against.
+package hotalloc
+
+import "fmt"
+
+type scratch struct {
+	buf  []int
+	name string
+}
+
+func sink(v any) {}
+
+// hotMake allocates a fresh slice every call.
+//
+//pcaps:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+// hotNew heap-allocates per call.
+//
+//pcaps:hotpath
+func hotNew() *scratch {
+	return new(scratch) // want `new allocates`
+}
+
+// hotAppend grows a nil slice with no reuse evidence.
+//
+//pcaps:hotpath
+func hotAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append without reuse evidence`
+	}
+	return out
+}
+
+// hotReuse appends into a reslice of preallocated scratch — the
+// sanctioned shape, no finding.
+//
+//pcaps:hotpath
+func (s *scratch) hotReuse(xs []int) []int {
+	out := s.buf[:0]
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// hotLit builds a slice literal per call.
+//
+//pcaps:hotpath
+func hotLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+// hotAddr escapes a composite literal to the heap.
+//
+//pcaps:hotpath
+func hotAddr() *scratch {
+	return &scratch{} // want `&composite literal escapes`
+}
+
+// hotClosure passes a closure to a callee, forcing it to escape.
+//
+//pcaps:hotpath
+func hotClosure(visit func(func(int))) {
+	visit(func(x int) {}) // want `escaping closure allocates`
+}
+
+// hotLocalClosure binds the closure to a local and only calls it — it
+// stays on the stack, no finding.
+//
+//pcaps:hotpath
+func hotLocalClosure(n int) int {
+	double := func(x int) int { return 2 * x }
+	return double(n)
+}
+
+// hotMapWrite may trigger a bucket allocation.
+//
+//pcaps:hotpath
+func hotMapWrite(counts map[string]int, k string) {
+	counts[k] = 1 // want `map write may allocate`
+}
+
+// hotConcat builds a new string per call.
+//
+//pcaps:hotpath
+func (s *scratch) hotConcat(prefix string) string {
+	return prefix + s.name // want `string concatenation allocates`
+}
+
+// hotBytes copies the string's bytes to a fresh slice.
+//
+//pcaps:hotpath
+func hotBytes(s string) []byte {
+	return []byte(s) // want `string conversion allocates`
+}
+
+// hotSprintf allocates via variadic boxing and the formatted result.
+//
+//pcaps:hotpath
+func hotSprintf(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf allocates`
+}
+
+// hotBox passes a non-pointer value to an interface parameter.
+//
+//pcaps:hotpath
+func hotBox(x int) {
+	sink(x) // want `boxes int into interface`
+}
+
+// hotGo launches a goroutine, allocating its stack.
+//
+//pcaps:hotpath
+func hotGo(f func()) {
+	go f() // want `goroutine launch`
+}
+
+// hotLazyGrow is amortized scratch growth, waived with a reason.
+//
+//pcaps:hotpath
+func (s *scratch) hotLazyGrow(n int) {
+	if cap(s.buf) < n {
+		//hot:alloc fixture: one-time scratch growth to the high-water mark
+		s.buf = make([]int, n) // waived `hot:alloc fixture: one-time scratch growth to the high-water mark`
+	}
+	s.buf = s.buf[:n]
+}
+
+// hotBareWaiver carries a marker with no reason — it does not count,
+// and the finding stands.
+//
+//pcaps:hotpath
+func hotBareWaiver(n int) []int {
+	//hot:alloc
+	return make([]int, n) // want `make allocates`
+}
+
+// coldPath is unannotated: the same constructs are fine off the hot
+// path.
+func coldPath(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,48 @@
+// Package maporder is a pcapslint fixture: its import path opts into
+// the determinism-critical set, and each construct below carries a
+// `// want` or `// waived` marker the analyzer tests assert against.
+package maporder
+
+import "sort"
+
+// sumFloats folds map values in iteration order; float addition does
+// not associate, so the result depends on the randomized order.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m: iteration order is randomized`
+		total += v
+	}
+	return total
+}
+
+// collectsUnsorted appends keys but never sorts them, so callers see a
+// randomized slice.
+func collectsUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m: iteration order is randomized`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectsSorted is the sanctioned shape: every slice the loop feeds
+// reaches a sort call afterwards, so no finding.
+func collectsSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countsWaived iterates only to count; the author asserts order
+// independence with a reasoned waiver.
+func countsWaived(m map[string]int) int {
+	n := 0
+	//det:unordered fixture: integer counting is independent of visit order
+	for range m { // waived `det:unordered fixture: integer counting is independent of visit order`
+		n++
+	}
+	return n
+}

@@ -68,6 +68,8 @@ func (s *Schedule) CarbonCost(carbon []float64) float64 {
 // schedule that runs past it keeps paying the last observed intensity
 // rather than running free. Empty traces price at zero; solver entry
 // points that need a real signal reject them up front (ErrNoCarbon).
+//
+//pcaps:hotpath
 func carbonAt(carbon []float64, t int) float64 {
 	if len(carbon) == 0 {
 		return 0
@@ -195,8 +197,11 @@ func newSolver(inst Instance) (*solver, error) {
 
 // level returns depth d's eligibility buffer, growing the ladder on
 // first use (amortized across the whole solve).
+//
+//pcaps:hotpath
 func (sv *solver) level(d int) []int {
 	for len(sv.levels) <= d {
+		//hot:alloc amortized ladder growth; each depth allocates once per solver lifetime
 		sv.levels = append(sv.levels, make([]int, 0, len(sv.rem)))
 	}
 	return sv.levels[d]
@@ -205,6 +210,8 @@ func (sv *solver) level(d int) []int {
 // eligibleInto fills buf with the stages that may run in the current
 // state: incomplete with all parents complete, in ascending stage-ID
 // order (the enumeration and reconstruction order).
+//
+//pcaps:hotpath
 func (sv *solver) eligibleInto(buf []int) []int {
 	buf = buf[:0]
 	for _, st := range sv.job.Stages {
@@ -226,7 +233,11 @@ func (sv *solver) eligibleInto(buf []int) []int {
 }
 
 // run applies one chosen stage-slot in place; undo restores it.
-func (sv *solver) run(id int)  { sv.rem[id]--; sv.idx -= sv.stride[id] }
+//
+//pcaps:hotpath
+func (sv *solver) run(id int) { sv.rem[id]--; sv.idx -= sv.stride[id] }
+
+//pcaps:hotpath
 func (sv *solver) undo(id int) { sv.rem[id]++; sv.idx += sv.stride[id] }
 
 // tsolve is the T-OPT DP: the minimum number of slots to drain the
@@ -257,7 +268,7 @@ func (sv *solver) tsolve(d int) int32 {
 // order, mutating the state in place and scoring each completed choice.
 func (sv *solver) tEnum(el []int, m, start, d int) int32 {
 	if m == 0 {
-		return 1 + sv.tsolve(d + 1)
+		return 1 + sv.tsolve(d+1)
 	}
 	best := int32(tGuard)
 	for i := start; i+m <= len(el); i++ {
@@ -322,6 +333,8 @@ func TOpt(inst Instance) (*Schedule, error) {
 }
 
 // cget reads the C-OPT memo for (slot t, current state): -1 is unknown.
+//
+//pcaps:hotpath
 func (sv *solver) cget(t int) float64 {
 	if sv.copt != nil {
 		return sv.copt[t*sv.n+sv.idx]
@@ -332,11 +345,13 @@ func (sv *solver) cget(t int) float64 {
 	return -1
 }
 
+//pcaps:hotpath
 func (sv *solver) cset(t int, v float64) {
 	if sv.copt != nil {
 		sv.copt[t*sv.n+sv.idx] = v
 		return
 	}
+	//hot:alloc map fallback engages only past the 4M-cell dense-memo cap; the dense path above is allocation-free
 	sv.coptMap[int64(t)*int64(sv.n)+int64(sv.idx)] = v
 }
 
@@ -514,9 +529,7 @@ func Validate(inst Instance, s *Schedule) error {
 		if len(ids) > inst.K {
 			return fmt.Errorf("optimal: slot %d runs %d > K stages", t, len(ids))
 		}
-		for k := range seen {
-			delete(seen, k)
-		}
+		clear(seen)
 		for _, id := range ids {
 			if id < 0 || id >= len(rem) {
 				return fmt.Errorf("optimal: slot %d has unknown stage %d", t, id)

@@ -230,7 +230,7 @@ func TestPlacementHandlerRejects(t *testing.T) {
 		status int
 		want   string // substring the error must carry
 	}{
-		{"not json", []byte("{"), http.StatusBadRequest, "decoding placement request"},
+		{"not json", []byte("{"), http.StatusBadRequest, "body: unexpected EOF"},
 		{"unknown top-level field", []byte(`{"policyy":{"kind":"fifo"}}`), http.StatusBadRequest, "policyy"},
 		{"neither policy nor policies", req(carbonapi.PlacementRequest{Snapshot: snap}),
 			http.StatusBadRequest, "exactly one of policy and policies"},

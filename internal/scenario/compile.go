@@ -806,6 +806,7 @@ func (r *runEnv) runFederation() (*result.Artifact, error) {
 			if c.topo != ti {
 				continue
 			}
+			//det:unordered per-name fold into independent aggregators; each key's mean is unaffected by visit order
 			for name, s := range results[i] {
 				a := agg[name]
 				if a == nil {

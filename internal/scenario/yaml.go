@@ -13,6 +13,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -198,11 +199,19 @@ func parseYAMLList(lines []yamlLine, start, indent int) (any, int, error) {
 				if err != nil {
 					return nil, 0, err
 				}
-				for k, v := range more.(map[string]any) {
+				// Merge in sorted-key order so which duplicate gets
+				// reported does not depend on map iteration order.
+				merged := more.(map[string]any)
+				keys := make([]string, 0, len(merged))
+				for k := range merged {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
 					if _, dup := item[k]; dup {
 						return nil, 0, fmt.Errorf("yaml line %d: duplicate key %q", lines[i+1].num, k)
 					}
-					item[k] = v
+					item[k] = merged[k]
 				}
 				i = next - 1
 			}

@@ -68,6 +68,8 @@ func (w *CAPWrap) provisioner(c *sim.Cluster) *core.CAP {
 }
 
 // Pick implements sim.Scheduler.
+//
+//pcaps:hotpath
 func (w *CAPWrap) Pick(c *sim.Cluster) sim.Decision {
 	p := w.provisioner(c)
 	quota := p.Quota(c.Carbon())
@@ -144,6 +146,8 @@ func (p *PCAPS) psi(c *sim.Cluster) *core.Psi {
 // refs and probs are inner-scheduler-owned scratch (valid until the next
 // Distribution call), so sampling and admission happen before any further
 // scheduling work.
+//
+//pcaps:hotpath
 func (p *PCAPS) Pick(c *sim.Cluster) sim.Decision {
 	refs, probs := p.PB.Distribution(c)
 	if len(refs) == 0 {
@@ -163,6 +167,7 @@ func (p *PCAPS) Pick(c *sim.Cluster) sim.Decision {
 	return sim.Decision{Ref: refs[v], Limit: psi.ParallelismLimit(planned, c.Carbon())}
 }
 
+//pcaps:hotpath
 func sampleIndex(rng *rand.Rand, probs []float64) int {
 	x := rng.Float64()
 	var cum float64

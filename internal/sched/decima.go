@@ -67,6 +67,8 @@ func (d *Decima) Name() string { return "Decima" }
 // non-runnable stages but also stages already saturated under the planned
 // executor cap, so every sampled action is executable (the masked-softmax
 // semantics of Decima's action space).
+//
+//pcaps:hotpath
 func (d *Decima) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 	all := c.Runnable()
 	runnable := d.refs[:0]
@@ -104,6 +106,7 @@ func (d *Decima) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 		d.jobRemain = append(d.jobRemain, lastRemain)
 	}
 	if cap(d.scores) < len(runnable) {
+		//hot:alloc one-time scratch growth to the runnable high-water mark
 		d.scores = make([]float64, len(runnable))
 	}
 	scores := d.scores[:len(runnable)]
@@ -129,6 +132,7 @@ func (d *Decima) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 	}
 	// Masked softmax (runnable stages only), stabilized by max-shift.
 	if cap(d.probs) < len(scores) {
+		//hot:alloc one-time scratch growth to the runnable high-water mark
 		d.probs = make([]float64, len(scores))
 	}
 	probs := d.probs[:len(scores)]
@@ -155,6 +159,8 @@ const GrantDivisor = 40
 
 // workDerivedCap returns the per-job grant cap for a job with the given
 // remaining work, bounded by an even cluster split across active jobs.
+//
+//pcaps:hotpath
 func workDerivedCap(c *sim.Cluster, remaining float64) int {
 	active := len(c.ActiveJobs())
 	if active < 1 {
@@ -175,6 +181,8 @@ func workDerivedCap(c *sim.Cluster, remaining float64) int {
 // remaining tasks, capped by the job's work-derived executor grant — the
 // executor-cap component of Decima's action space ([48] §5.2) that
 // prevents one job from hogging (and idling) cluster resources.
+//
+//pcaps:hotpath
 func (d *Decima) PlannedLimit(c *sim.Cluster, ref sim.StageRef) int {
 	limit := ref.Stage.RemainingTasks() + ref.Stage.Running
 	if cap := workDerivedCap(c, ref.Job.RemainingWork()); limit > cap {
@@ -187,6 +195,8 @@ func (d *Decima) PlannedLimit(c *sim.Cluster, ref sim.StageRef) int {
 }
 
 // Sample draws an index from the probability vector.
+//
+//pcaps:hotpath
 func (d *Decima) Sample(probs []float64) int {
 	if d.rng == nil {
 		d.rng = rand.New(rand.NewSource(d.Seed))
@@ -204,6 +214,8 @@ func (d *Decima) Sample(probs []float64) int {
 
 // Pick implements sim.Scheduler: sample a stage from the distribution and
 // schedule it with the planned limit (carbon-agnostic behaviour).
+//
+//pcaps:hotpath
 func (d *Decima) Pick(c *sim.Cluster) sim.Decision {
 	refs, probs := d.Distribution(c)
 	if len(refs) == 0 {
@@ -232,12 +244,15 @@ func (u *UniformPB) Name() string { return "UniformPB" }
 
 // Distribution implements Probabilistic with equal mass per runnable
 // stage.
+//
+//pcaps:hotpath
 func (u *UniformPB) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 	runnable := c.Runnable()
 	if len(runnable) == 0 {
 		return nil, nil
 	}
 	if cap(u.probs) < len(runnable) {
+		//hot:alloc one-time scratch growth to the runnable high-water mark
 		u.probs = make([]float64, len(runnable))
 	}
 	probs := u.probs[:len(runnable)]
@@ -249,6 +264,8 @@ func (u *UniformPB) Distribution(c *sim.Cluster) ([]sim.StageRef, []float64) {
 
 // PlannedLimit implements Probabilistic: up to the stage's remaining
 // tasks.
+//
+//pcaps:hotpath
 func (u *UniformPB) PlannedLimit(c *sim.Cluster, ref sim.StageRef) int {
 	if n := ref.Stage.RemainingTasks() + ref.Stage.Running; n > 0 {
 		return n
@@ -257,6 +274,8 @@ func (u *UniformPB) PlannedLimit(c *sim.Cluster, ref sim.StageRef) int {
 }
 
 // Pick implements sim.Scheduler.
+//
+//pcaps:hotpath
 func (u *UniformPB) Pick(c *sim.Cluster) sim.Decision {
 	refs, probs := u.Distribution(c)
 	if len(refs) == 0 {

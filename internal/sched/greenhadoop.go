@@ -34,6 +34,8 @@ func (g *GreenHadoop) Name() string { return "GreenHadoop" }
 // OutstandingWork is an epoch-cached cluster view, so the repeated budget
 // evaluations within one scheduling event cost one pass over the active
 // jobs in total.
+//
+//pcaps:hotpath
 func (g *GreenHadoop) executorBudget(c *sim.Cluster) int {
 	theta := g.Theta
 	if theta < 0 {
@@ -86,6 +88,8 @@ func (g *GreenHadoop) executorBudget(c *sim.Cluster) int {
 
 // Pick implements sim.Scheduler: FIFO dispatch inside the green/brown
 // executor budget.
+//
+//pcaps:hotpath
 func (g *GreenHadoop) Pick(c *sim.Cluster) sim.Decision {
 	budget := g.executorBudget(c)
 	headroom := budget - c.BusyCount()

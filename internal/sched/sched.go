@@ -40,6 +40,8 @@ func (f *FIFO) Name() string {
 
 // Pick implements sim.Scheduler: first runnable stage of the earliest
 // arrived job.
+//
+//pcaps:hotpath
 func (f *FIFO) Pick(c *sim.Cluster) sim.Decision {
 	runnable := c.Runnable()
 	if len(runnable) == 0 {
@@ -83,6 +85,8 @@ type WeightedFair struct {
 func (w *WeightedFair) Name() string { return "WeightedFair" }
 
 // Pick implements sim.Scheduler.
+//
+//pcaps:hotpath
 func (w *WeightedFair) Pick(c *sim.Cluster) sim.Decision {
 	runnable := c.Runnable()
 	if len(runnable) == 0 {

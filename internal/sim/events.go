@@ -69,14 +69,17 @@ func (h *eventHeap) down(i int) {
 	}
 }
 
+//pcaps:hotpath
 func (c *Cluster) push(ev event) {
 	h := &c.events
 	ev.seq = h.seq
 	h.seq++
+	//hot:alloc amortized event-heap growth; steady state reuses the popped capacity
 	h.items = append(h.items, ev)
 	h.up(len(h.items) - 1)
 }
 
+//pcaps:hotpath
 func (c *Cluster) pop() event {
 	h := &c.events
 	top := h.items[0]
@@ -97,7 +100,9 @@ func (c *Cluster) pop() event {
 // the incremental core byte-identical to the seed engine.
 type intHeap []int
 
+//pcaps:hotpath
 func (h *intHeap) push(v int) {
+	//hot:alloc amortized executor-heap growth; capacity reaches K and stays
 	s := append(*h, v)
 	i := len(s) - 1
 	for i > 0 {
@@ -111,6 +116,7 @@ func (h *intHeap) push(v int) {
 	*h = s
 }
 
+//pcaps:hotpath
 func (h *intHeap) pop() int {
 	s := *h
 	top := s[0]

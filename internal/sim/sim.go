@@ -372,6 +372,8 @@ func (c *Cluster) invalidate() { c.epoch++ }
 // The returned slice is a live view owned by the cluster: it is valid
 // until the next state change (in practice, until the scheduler's Pick
 // returns) and must not be retained or modified.
+//
+//pcaps:hotpath
 func (c *Cluster) ActiveJobs() []*JobRun { return c.active }
 
 // Runnable returns references to every stage that can accept work:
@@ -383,6 +385,8 @@ func (c *Cluster) ActiveJobs() []*JobRun { return c.active }
 // repeated calls within one scheduling event return the same backing
 // array without rebuilding. It is valid until the next state change and
 // must not be retained or modified.
+//
+//pcaps:hotpath
 func (c *Cluster) Runnable() []StageRef {
 	if c.runnableEpoch != c.epoch {
 		c.runnableView = c.runnableView[:0]
@@ -401,6 +405,8 @@ func (c *Cluster) Runnable() []StageRef {
 
 // OutstandingWork returns total undone work across active jobs, in
 // executor-seconds. The sum is epoch-cached alongside the other views.
+//
+//pcaps:hotpath
 func (c *Cluster) OutstandingWork() float64 {
 	if c.outstandingEpoch != c.epoch {
 		var w float64
