@@ -17,11 +17,13 @@ import (
 	"testing"
 	"time"
 
+	"pcaps/internal/arrivals"
 	"pcaps/internal/carbon"
 	"pcaps/internal/carbonapi"
 	"pcaps/internal/dag"
 	"pcaps/internal/experiments"
 	"pcaps/internal/federation"
+	"pcaps/internal/metrics"
 	"pcaps/internal/optimal"
 	"pcaps/internal/placement"
 	"pcaps/internal/sched"
@@ -134,6 +136,67 @@ func TestBenchHarnessSmoke(t *testing.T) {
 // ablations (threshold shape, importance signal, parallelism scaling,
 // forecast error, suspend-resume baseline).
 func BenchmarkAblationSuite(b *testing.B) { benchArtifact(b, "ablation") }
+
+// Arrival-generation microbenchmarks: the open-loop workload path
+// (DESIGN.md §9). BenchmarkArrivalGen times batch generation under the
+// thinning-heavy burst shape with heterogeneous classes — the overload
+// artifact's per-cell generation cost. BenchmarkOverloadLoop times one
+// full open-loop cell: generate, simulate, and reduce to backlog/JCT
+// metrics.
+
+func BenchmarkArrivalGen(b *testing.B) {
+	proc, err := arrivals.New(arrivals.Spec{
+		Kind: arrivals.KindBurst, RPS: 1.0 / 60, PeakRPS: 1.0 / 3, PeriodSec: 600, BurstSec: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.GenConfig{
+		N: 200, Arrivals: proc, Seed: 42,
+		Classes: []workload.Class{
+			{Name: "interactive", Mix: workload.MixTPCH, Weight: 3},
+			{Name: "batch", Mix: workload.MixAlibaba, Weight: 1, WorkScale: 2},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverloadLoop(b *testing.B) {
+	proc, err := arrivals.New(arrivals.Spec{
+		Kind: arrivals.KindBurst, RPS: 1.0 / 60, PeakRPS: 1.0 / 3, PeriodSec: 600, BurstSec: 60,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchTrace(b)
+	b.ReportAllocs()
+	var backlog float64
+	for i := 0; i < b.N; i++ {
+		jobs, err := workload.Generate(workload.GenConfig{
+			N: 80, Arrivals: proc, Mix: workload.MixBoth, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(cfg, jobs, &sched.FIFO{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		arr := make([]float64, len(jobs))
+		cps := make([]float64, len(jobs))
+		for k, j := range jobs {
+			arr[k] = j.Arrival
+			cps[k] = j.CriticalPathLength()
+		}
+		backlog = metrics.SummarizeOpenLoop(arr, res.JCTs, cps).MeanBacklog
+	}
+	b.ReportMetric(backlog, "mean-backlog")
+}
 
 // Scheduling-loop microbenchmarks: unlike the artifact benchmarks above,
 // these time the simulator's hot path directly — many small stages, high

@@ -8,8 +8,11 @@
 //	tracegen -workload alibaba -n 50 -seed 7 -header > jobs.csv
 //	tracegen -scenario spec.json -out inputs/   # every resolved input
 //
-// Workload CSV columns: job, name, arrival_sec, stages, total_work_sec,
-// critical_path_sec.
+// Workload CSV columns: job, name, class, arrival_sec, stages,
+// total_work_sec, critical_path_sec. The class and arrival_sec columns
+// make every workload CSV an arrival schedule: arrivals.ReadCSV decodes
+// it (ignoring the other columns), so a scenario can replay a
+// previously emitted batch via workload.arrivals{kind: csv}.
 //
 // -header prepends a '# generated=tracegen ...' provenance comment
 // recording the generator parameters (seed, mix, sizes), so a CSV found
@@ -32,7 +35,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
+	"pcaps/internal/arrivals"
 	"pcaps/internal/carbon"
 	"pcaps/internal/dag"
 	"pcaps/internal/scenario"
@@ -123,14 +128,24 @@ func writeTrace(w io.Writer, tr *carbon.Trace, provenance string) error {
 
 // writeWorkload generates the batch and serializes its summary rows.
 func writeWorkload(w io.Writer, cfg workload.BatchConfig, header bool) error {
+	prov := ""
 	if header {
-		if _, err := fmt.Fprintln(w, workloadProvenance(cfg)); err != nil {
+		prov = workloadProvenance(cfg)
+	}
+	return writeJobs(w, workload.Batch(cfg), prov)
+}
+
+// writeJobs serializes a job batch, optionally preceded by a provenance
+// comment. The class,arrival_sec column pair doubles as an arrival
+// schedule: arrivals.ReadCSV decodes these files directly.
+func writeJobs(w io.Writer, jobs []*dag.Job, provenance string) error {
+	if provenance != "" {
+		if _, err := fmt.Fprintln(w, provenance); err != nil {
 			return err
 		}
 	}
-	jobs := workload.Batch(cfg)
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"job", "name", "arrival_sec", "stages", "total_work_sec", "critical_path_sec"}); err != nil {
+	if err := cw.Write([]string{"job", "name", "class", "arrival_sec", "stages", "total_work_sec", "critical_path_sec"}); err != nil {
 		return err
 	}
 	for _, j := range jobs {
@@ -144,12 +159,44 @@ func writeWorkload(w io.Writer, cfg workload.BatchConfig, header bool) error {
 
 func workloadRecord(j *dag.Job) []string {
 	return []string{
-		strconv.Itoa(j.ID), j.Name,
+		strconv.Itoa(j.ID), j.Name, j.Class,
 		fmt.Sprintf("%.2f", j.Arrival),
 		strconv.Itoa(len(j.Stages)),
 		fmt.Sprintf("%.2f", j.TotalWork()),
 		fmt.Sprintf("%.2f", j.CriticalPathLength()),
 	}
+}
+
+// arrivalsDesc renders the resolved arrival process for provenance
+// comments.
+func arrivalsDesc(s arrivals.Spec) string {
+	switch s.Kind {
+	case arrivals.KindPoisson:
+		return fmt.Sprintf("arrivals=poisson mean_sec=%g", s.MeanSec)
+	case arrivals.KindConstant:
+		return fmt.Sprintf("arrivals=constant rps=%g", s.RPS)
+	case arrivals.KindBurst:
+		return fmt.Sprintf("arrivals=burst rps=%g peak_rps=%g period_sec=%g burst_sec=%g",
+			s.RPS, s.PeakRPS, s.PeriodSec, s.BurstSec)
+	case arrivals.KindCSV:
+		return fmt.Sprintf("arrivals=csv n=%d", len(s.Times))
+	default: // ramp, diurnal
+		return fmt.Sprintf("arrivals=%s rps=%g peak_rps=%g period_sec=%g",
+			s.Kind, s.RPS, s.PeakRPS, s.PeriodSec)
+	}
+}
+
+// workloadDesc renders the batch's family axis: the mix for homogeneous
+// batches, the class set (name:weight pairs) for heterogeneous ones.
+func workloadDesc(mix string, classes []scenario.ClassSpec) string {
+	if len(classes) == 0 {
+		return "mix=" + mix
+	}
+	parts := make([]string, len(classes))
+	for i, c := range classes {
+		parts[i] = fmt.Sprintf("%s:%g", c.Name, c.Weight)
+	}
+	return "classes=" + strings.Join(parts, ",")
 }
 
 // emitScenario resolves a spec's inputs and writes one trace CSV per
@@ -215,17 +262,21 @@ func emitScenario(path, dir string, header bool) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d samples)\n", file, len(c.Trace.Values))
 	}
-	mix, err := mixFor(in.Mix)
-	if err != nil {
-		return err
+	// The resolved batch is written directly: arrivals-driven and
+	// heterogeneous batches cannot be rebuilt from a BatchConfig, and the
+	// provenance comment records the arrival process and class set
+	// instead of a single interarrival mean.
+	prov := ""
+	if header {
+		prov = fmt.Sprintf("# generated=tracegen scenario=%s seed=%d %s n=%d %s",
+			spec.Name, in.Seed, workloadDesc(in.Mix, in.Classes), in.JobsN, arrivalsDesc(in.Arrivals))
 	}
-	cfg := workload.BatchConfig{N: in.JobsN, MeanInterarrival: in.InterarrivalSec, Mix: mix, Seed: in.Seed}
 	file := filepath.Join(dir, "workload.csv")
 	f, err := os.Create(file)
 	if err != nil {
 		return err
 	}
-	werr := writeWorkload(f, cfg, header)
+	werr := writeJobs(f, in.Jobs, prov)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
 	}

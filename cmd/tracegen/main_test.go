@@ -9,7 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"pcaps/internal/arrivals"
 	"pcaps/internal/carbon"
+	"pcaps/internal/scenario"
 	"pcaps/internal/workload"
 )
 
@@ -105,7 +107,7 @@ func TestWorkloadNoHeaderByDefault(t *testing.T) {
 	if err := writeWorkload(&buf, workload.BatchConfig{N: 2, Mix: workload.MixTPCH, Seed: 1}, false); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), "job,name,arrival_sec") {
+	if !strings.HasPrefix(buf.String(), "job,name,class,arrival_sec") {
 		t.Fatalf("unexpected leading bytes: %q", buf.String()[:40])
 	}
 }
@@ -148,7 +150,92 @@ func TestEmitScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), "# generated=tracegen seed=3 mix=tpch n=5") {
+	if !strings.Contains(string(data), "# generated=tracegen scenario=emit seed=3 mix=tpch n=5 arrivals=poisson mean_sec=30") {
 		t.Fatalf("workload provenance missing:\n%s", data[:120])
 	}
+}
+
+// TestEmitScenarioArrivalsRoundTrip pins satellite contract: a workload
+// CSV emitted for a burst/classes scenario decodes through
+// arrivals.ReadCSV into the exact times and class labels of the
+// resolved batch, so `workload.arrivals{kind: csv}` replays it.
+func TestEmitScenarioArrivalsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	specFile := dir + "/spec.json"
+	spec := `{
+		"name": "replay",
+		"seed": 11,
+		"hours": 200,
+		"grids": ["DE"],
+		"workload": {
+			"jobs": 12,
+			"arrivals": {"kind": "burst", "rps": 0.05, "peak_rps": 0.5, "period_sec": 120, "burst_sec": 20},
+			"classes": [
+				{"name": "interactive", "mix": "tpch", "weight": 3},
+				{"name": "batch", "mix": "alibaba", "weight": 1, "work_scale": 2}
+			]
+		},
+		"baseline": {"kind": "fifo"},
+		"policies": [{"kind": "cap"}]
+	}`
+	if err := os.WriteFile(specFile, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitScenario(specFile, dir, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/workload.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{
+		"# generated=tracegen scenario=replay seed=11 classes=interactive:3,batch:1 n=12",
+		"arrivals=burst rps=0.05 peak_rps=0.5 period_sec=120 burst_sec=20",
+	} {
+		if !strings.Contains(string(data), needle) {
+			t.Fatalf("workload provenance missing %q:\n%s", needle, data[:160])
+		}
+	}
+	sched, err := arrivals.ReadCSV(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the resolved batch the emitter serialized.
+	prog, err := scenario.Compile(*mustLoad(t, specFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := prog.Inputs(scenario.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Times) != len(in.Jobs) {
+		t.Fatalf("schedule has %d rows, batch %d jobs", len(sched.Times), len(in.Jobs))
+	}
+	classes := 0
+	for i, j := range in.Jobs {
+		// Times round through the CSV's two-decimal format.
+		want, _ := strconv.ParseFloat(strconv.FormatFloat(j.Arrival, 'f', 2, 64), 64)
+		if sched.Times[i] != want {
+			t.Fatalf("row %d: time %v, want %v", i, sched.Times[i], want)
+		}
+		if sched.Classes[i] != j.Class {
+			t.Fatalf("row %d: class %q, want %q", i, sched.Classes[i], j.Class)
+		}
+		if j.Class == "batch" {
+			classes++
+		}
+	}
+	if classes == 0 {
+		t.Fatal("no job drew the minority class; widen the batch")
+	}
+}
+
+func mustLoad(t *testing.T, path string) *scenario.Spec {
+	t.Helper()
+	spec, err := scenario.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
 }

@@ -1,0 +1,111 @@
+package arrivals
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV decodes an arrival schedule from CSV. The header row must
+// carry an arrival_sec column and may carry a class column; any other
+// columns are ignored, so both the minimal class,arrival_sec shape
+// WriteCSV emits and the full workload.csv tracegen writes decode to
+// the same schedule. Lines starting with '#' (the `# generated=`
+// provenance headers) are skipped, like carbon.ReadCSV does.
+func ReadCSV(r io.Reader) (Spec, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1 // validated against the header below
+	header, err := cr.Read()
+	if err != nil {
+		return Spec{}, fmt.Errorf("arrivals: reading schedule header: %w", err)
+	}
+	timeCol, classCol := -1, -1
+	for i, name := range header {
+		switch strings.TrimSpace(name) {
+		case "arrival_sec":
+			timeCol = i
+		case "class":
+			classCol = i
+		}
+	}
+	if timeCol < 0 {
+		return Spec{}, fmt.Errorf("arrivals: schedule CSV has no arrival_sec column (header %v)", header)
+	}
+	s := Spec{Kind: KindCSV}
+	for row := 2; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("arrivals: reading schedule row %d: %w", row, err)
+		}
+		if timeCol >= len(rec) {
+			return Spec{}, fmt.Errorf("arrivals: schedule row %d has %d fields, arrival_sec is column %d", row, len(rec), timeCol+1)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(rec[timeCol]), 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("arrivals: schedule row %d: bad arrival_sec %q", row, rec[timeCol])
+		}
+		s.Times = append(s.Times, t)
+		if classCol >= 0 && classCol < len(rec) {
+			s.Classes = append(s.Classes, strings.TrimSpace(rec[classCol]))
+		}
+	}
+	if len(s.Classes) > 0 && allEmpty(s.Classes) {
+		s.Classes = nil
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+func allEmpty(ss []string) bool {
+	for _, s := range ss {
+		if s != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteCSV emits the schedule in the minimal round-trippable column
+// set, class,arrival_sec, optionally preceded by a '#' provenance
+// comment (ReadCSV skips it, so the file round-trips either way).
+func WriteCSV(w io.Writer, s Spec, provenance string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Kind != KindCSV {
+		return fmt.Errorf("arrivals: WriteCSV serializes csv schedules, not %q", s.Kind)
+	}
+	if provenance != "" {
+		if _, err := fmt.Fprintln(w, provenance); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"class", "arrival_sec"}); err != nil {
+		return err
+	}
+	for i, t := range s.Times {
+		class := ""
+		if i < len(s.Classes) {
+			class = s.Classes[i]
+		}
+		if err := cw.Write([]string{class, formatSec(t)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatSec renders an arrival second with two decimals, the precision
+// tracegen's workload records use; times round-trip at the emitted
+// precision.
+func formatSec(t float64) string { return strconv.FormatFloat(t, 'f', 2, 64) }

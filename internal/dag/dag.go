@@ -46,6 +46,10 @@ type Job struct {
 	Stages []*Stage
 	// Arrival is the job's submission time in seconds of experiment time.
 	Arrival float64
+	// Class optionally names the workload class the job was drawn from
+	// (heterogeneous batches, internal/arrivals); "" for homogeneous
+	// batches.
+	Class string
 }
 
 // Errors returned by Validate.
@@ -296,7 +300,7 @@ func (j *Job) NumDescendants(id int) int {
 // state but never the DAG itself; Clone exists so that generators can hand
 // the same template to multiple experiments safely.
 func (j *Job) Clone() *Job {
-	c := &Job{ID: j.ID, Name: j.Name, Arrival: j.Arrival, Stages: make([]*Stage, len(j.Stages))}
+	c := &Job{ID: j.ID, Name: j.Name, Arrival: j.Arrival, Class: j.Class, Stages: make([]*Stage, len(j.Stages))}
 	for i, s := range j.Stages {
 		ns := *s
 		ns.Parents = append([]int(nil), s.Parents...)

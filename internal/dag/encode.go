@@ -69,6 +69,7 @@ type jobJSON struct {
 	ID      int         `json:"id"`
 	Name    string      `json:"name"`
 	Arrival float64     `json:"arrival_sec"`
+	Class   string      `json:"class,omitempty"`
 	Stages  []stageJSON `json:"stages"`
 }
 
@@ -81,7 +82,7 @@ type stageJSON struct {
 
 // MarshalJSON implements json.Marshaler for Job.
 func (j *Job) MarshalJSON() ([]byte, error) {
-	out := jobJSON{ID: j.ID, Name: j.Name, Arrival: j.Arrival}
+	out := jobJSON{ID: j.ID, Name: j.Name, Arrival: j.Arrival, Class: j.Class}
 	for _, s := range j.Stages {
 		parents := append([]int(nil), s.Parents...)
 		sort.Ints(parents)
@@ -99,7 +100,7 @@ func (j *Job) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
 	}
-	decoded := Job{ID: in.ID, Name: in.Name, Arrival: in.Arrival}
+	decoded := Job{ID: in.ID, Name: in.Name, Arrival: in.Arrival, Class: in.Class}
 	for i, s := range in.Stages {
 		decoded.Stages = append(decoded.Stages, &Stage{
 			ID: i, Name: s.Name, NumTasks: s.NumTasks, TaskDuration: s.TaskDuration,

@@ -202,6 +202,7 @@ var DetPackages = []string{
 	"pcaps/internal/scenario",
 	"pcaps/internal/federation",
 	"pcaps/internal/workload",
+	"pcaps/internal/arrivals",
 }
 
 // inDetPackages matches the determinism-critical set. Fixture packages

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBacklogHandComputed(t *testing.T) {
+	// Jobs: arrive 0, 1, 2; complete 4, 3, 6.
+	// t=0 →1, t=1 →2, t=2 →3, t=3 →2, t=4 →1, t=6 →0.
+	steps := Backlog([]float64{0, 1, 2}, []float64{4, 3, 6})
+	want := []Point{{0, 1}, {1, 2}, {2, 3}, {3, 2}, {4, 1}, {6, 0}}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("step %d = %v, want %v", i, steps[i], want[i])
+		}
+	}
+	// Time-weighted mean over [0,6]:
+	// 1·1 + 2·1 + 3·1 + 2·1 + 1·2 = 10; 10/6.
+	mean, peak := BacklogStats(steps)
+	if peak != 3 {
+		t.Fatalf("peak = %v, want 3", peak)
+	}
+	if math.Abs(mean-10.0/6.0) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", mean, 10.0/6.0)
+	}
+}
+
+func TestBacklogTieCompletionBeforeArrival(t *testing.T) {
+	// One job completes at t=5 exactly as the next arrives: the backlog
+	// must not report a depth-2 instant.
+	steps := Backlog([]float64{0, 5}, []float64{5, 9})
+	_, peak := BacklogStats(steps)
+	if peak != 1 {
+		t.Fatalf("peak = %v, want 1 (completion applies before the simultaneous arrival)", peak)
+	}
+}
+
+func TestBacklogEmptyAndSingle(t *testing.T) {
+	if steps := Backlog(nil, nil); len(steps) != 0 {
+		t.Fatalf("empty backlog = %v", steps)
+	}
+	mean, peak := BacklogStats([]Point{{3, 1}})
+	if mean != 0 || peak != 1 {
+		t.Fatalf("single-step stats = %v, %v", mean, peak)
+	}
+}
+
+func TestSummarizeOpenLoopHandComputed(t *testing.T) {
+	// Four jobs arriving every 10 s; JCTs 20, 20, 40, 20 with
+	// critical paths 15, 15, 15, 15.
+	arr := []float64{0, 10, 20, 30}
+	jcts := []float64{20, 20, 40, 20}
+	cps := []float64{15, 15, 15, 15}
+	s := SummarizeOpenLoop(arr, jcts, cps)
+
+	// Completions: 20, 30, 60, 50. Events:
+	// 0→1, 10→2, 20→2 (completion then arrival), 30→2, 50→1, 60→0.
+	// Mean backlog: (1·10 + 2·10 + 2·10 + 2·20 + 1·10)/60 = 100/60.
+	if math.Abs(s.MeanBacklog-100.0/60.0) > 1e-12 {
+		t.Fatalf("mean backlog = %v, want %v", s.MeanBacklog, 100.0/60.0)
+	}
+	if s.PeakBacklog != 2 {
+		t.Fatalf("peak backlog = %v, want 2", s.PeakBacklog)
+	}
+	if s.P50JCT != 20 {
+		t.Fatalf("p50 = %v, want 20", s.P50JCT)
+	}
+	// Sorted JCTs: 20,20,20,40. p99 position = 0.99·3 = 2.97 →
+	// 20·0.03 + 40·0.97 = 39.4.
+	if math.Abs(s.P99JCT-39.4) > 1e-12 {
+		t.Fatalf("p99 = %v, want 39.4", s.P99JCT)
+	}
+	// Queue delay: mean of (5, 5, 25, 5) = 10.
+	if math.Abs(s.MeanQueueDelay-10) > 1e-12 {
+		t.Fatalf("queue delay = %v, want 10", s.MeanQueueDelay)
+	}
+	// Goodput: 4 jobs over [0, 60] = 240 jobs/hr.
+	if math.Abs(s.GoodputJobsPerHr-240) > 1e-12 {
+		t.Fatalf("goodput = %v, want 240", s.GoodputJobsPerHr)
+	}
+}
+
+func TestSummarizeOpenLoopEmpty(t *testing.T) {
+	if s := SummarizeOpenLoop(nil, nil, nil); s != (OpenLoop{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

@@ -2,9 +2,11 @@ package scenario
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
+	"pcaps/internal/arrivals"
 	"pcaps/internal/carbon"
 	"pcaps/internal/cluster"
 	"pcaps/internal/dag"
@@ -118,14 +120,33 @@ type runEnv struct {
 	traces TraceProvider
 	seed   int64
 	hours  int
-	inter  float64
-	mix    workload.Mix
+	// arr is the resolved arrival process description (csv schedules
+	// loaded); proc is the corresponding generator, shared across cells
+	// (processes are stateless — every draw comes from the cell's RNG).
+	arr     arrivals.Spec
+	proc    arrivals.Process
+	mix     workload.Mix
+	classes []workload.Class
 }
 
-// newRunEnv resolves the execution defaults shared by Run and Inputs:
-// seed 42, fast-scaled trace length, the paper's 30-second Poisson
-// interarrival, and the workload mix.
-func newRunEnv(spec Spec, env Env) *runEnv {
+// mixOf maps the spec's mix names onto the workload families.
+func mixOf(s string) workload.Mix {
+	switch s {
+	case "alibaba":
+		return workload.MixAlibaba
+	case "both":
+		return workload.MixBoth
+	default:
+		return workload.MixTPCH
+	}
+}
+
+// newRunEnv resolves the execution state shared by Run and Inputs:
+// seed 42, fast-scaled trace length, the arrival process (the paper's
+// 30-second Poisson unless workload.arrivals says otherwise, with csv
+// schedules read here, once per run), and the workload mix or class
+// set. The spec is assumed validated (Compile ran).
+func newRunEnv(spec Spec, env Env) (*runEnv, error) {
 	r := &runEnv{spec: spec, fast: env.Fast, pool: env.Pool, traces: env.Traces}
 	if r.pool == nil {
 		r.pool = serialPool{}
@@ -145,19 +166,47 @@ func newRunEnv(spec Spec, env Env) *runEnv {
 			r.hours = carbon.PaperHours
 		}
 	}
-	r.inter = spec.Workload.MeanInterarrivalSec
-	if r.inter <= 0 {
-		r.inter = 30
+	if a := spec.Workload.Arrivals; a != nil {
+		r.arr = a.arrivals()
+		if r.arr.Kind == arrivals.KindCSV {
+			loaded, err := readSchedule(a.CSV)
+			if err != nil {
+				return nil, err
+			}
+			r.arr = loaded
+		}
+	} else {
+		r.arr = arrivals.Spec{Kind: arrivals.KindPoisson, MeanSec: arrivals.DefaultPoissonMeanSec}
+		if m := spec.Workload.MeanInterarrivalSec; m != nil {
+			r.arr.MeanSec = *m
+		}
 	}
-	switch spec.Workload.Mix {
-	case "alibaba":
-		r.mix = workload.MixAlibaba
-	case "both":
-		r.mix = workload.MixBoth
-	default:
-		r.mix = workload.MixTPCH
+	proc, err := arrivals.New(r.arr)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: workload.arrivals: %w", err)
 	}
-	return r
+	r.proc = proc
+	r.mix = mixOf(spec.Workload.Mix)
+	for _, c := range spec.Workload.Classes {
+		r.classes = append(r.classes, workload.Class{
+			Name: c.Name, Mix: mixOf(c.Mix), Weight: c.Weight, WorkScale: c.WorkScale,
+		})
+	}
+	return r, nil
+}
+
+// readSchedule loads a csv arrival schedule from disk.
+func readSchedule(path string) (arrivals.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return arrivals.Spec{}, fmt.Errorf("scenario: workload.arrivals.csv: %w", err)
+	}
+	defer f.Close()
+	s, err := arrivals.ReadCSV(f)
+	if err != nil {
+		return arrivals.Spec{}, fmt.Errorf("scenario: workload.arrivals.csv: %s: %w", path, err)
+	}
+	return s, nil
 }
 
 // member is one resolved cluster/grid axis entry.
@@ -186,7 +235,10 @@ func (p *Program) Run(env Env) (art *result.Artifact, err error) {
 			art, err = nil, se.err
 		}
 	}()
-	r := newRunEnv(p.spec, env)
+	r, err := newRunEnv(p.spec, env)
+	if err != nil {
+		return nil, err
+	}
 	switch {
 	case p.spec.Sweep != nil:
 		art, err = r.runSweep()
@@ -294,7 +346,15 @@ func (r *runEnv) baseConfig(tr *carbon.Trace, cellSeed int64, m member) sim.Conf
 }
 
 func (r *runEnv) batch(n int, batchSeed int64) []*dag.Job {
-	return workload.Batch(workload.BatchConfig{N: n, MeanInterarrival: r.inter, Mix: r.mix, Seed: batchSeed})
+	jobs, err := workload.Generate(workload.GenConfig{
+		N: n, Arrivals: r.proc, Mix: r.mix, Classes: r.classes, Seed: batchSeed,
+	})
+	if err != nil {
+		// Configuration errors a validated spec can still hit (a csv
+		// schedule shorter than the batch); fail-fast through the pool.
+		panic(simError{fmt.Errorf("scenario: workload: %w", err)})
+	}
+	return jobs
 }
 
 // pricing returns the scenario's carbon pricing, or nil when unpriced.

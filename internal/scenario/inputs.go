@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"pcaps/internal/arrivals"
 	"pcaps/internal/carbon"
 	"pcaps/internal/dag"
 )
@@ -39,15 +40,36 @@ type Inputs struct {
 	InterarrivalSec float64
 	Seed            int64
 	Hours           int
+	// Arrivals is the resolved arrival process (csv schedules loaded);
+	// the paper's Poisson when the spec declares none. InterarrivalSec
+	// echoes its mean for the poisson kind and is 0 otherwise.
+	Arrivals arrivals.Spec
+	// Classes echoes the resolved heterogeneous class set (nil for
+	// homogeneous batches).
+	Classes []ClassSpec
 }
 
 // Inputs resolves the program's carbon sources and template workload
 // without running any simulation.
-func (p *Program) Inputs(env Env) (*Inputs, error) {
-	r := newRunEnv(p.spec, env)
+func (p *Program) Inputs(env Env) (out *Inputs, err error) {
+	defer func() {
+		// The batch generator fails fast through the pool's panic path
+		// (a csv schedule shorter than the batch); surface it as an
+		// error here the way Run does.
+		if rec := recover(); rec != nil {
+			se, ok := rec.(simError)
+			if !ok {
+				panic(rec)
+			}
+			out, err = nil, se.err
+		}
+	}()
+	r, err := newRunEnv(p.spec, env)
+	if err != nil {
+		return nil, err
+	}
 
 	var members []member
-	var err error
 	switch {
 	case p.spec.Sweep != nil:
 		if len(p.spec.Clusters) > 0 {
@@ -110,13 +132,19 @@ func (p *Program) Inputs(env Env) (*Inputs, error) {
 		}
 	}
 
-	out := &Inputs{
+	inter := 0.0
+	if r.arr.Kind == arrivals.KindPoisson {
+		inter = r.arr.MeanSec
+	}
+	out = &Inputs{
 		Jobs:            r.batch(n, r.seed),
 		Mix:             r.mix.String(),
 		JobsN:           n,
-		InterarrivalSec: r.inter,
+		InterarrivalSec: inter,
 		Seed:            r.seed,
 		Hours:           r.hours,
+		Arrivals:        r.arr,
+		Classes:         p.spec.Workload.Classes,
 	}
 	for _, m := range members {
 		out.Clusters = append(out.Clusters, ResolvedCluster{

@@ -146,6 +146,7 @@ func TestLoadExampleGallery(t *testing.T) {
 		"../../examples/scenarios/gamma-sweep.json",
 		"../../examples/scenarios/federation.yaml",
 		"../../examples/scenarios/priced.json",
+		"../../examples/scenarios/burst-overload.yaml",
 	} {
 		spec, err := Load(path)
 		if err != nil {

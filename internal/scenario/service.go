@@ -117,6 +117,13 @@ func (s *Service) Run(ctx context.Context, raw []byte) (*result.Artifact, error)
 						"source %q is disabled on this server (synthesized grids only)", c.Source))
 			}
 		}
+		// An arrivals schedule file would likewise read the server's
+		// filesystem on the requester's behalf.
+		if a := spec.Workload.Arrivals; a != nil && a.Kind == "csv" {
+			return nil, fmt.Errorf("%w: %w", carbonapi.ErrInvalidScenario,
+				fieldErr("workload.arrivals.kind",
+					"csv schedules are disabled on this server (generated arrival kinds only)"))
+		}
 	}
 	if err := checkLimits(spec); err != nil {
 		return nil, fmt.Errorf("%w: %w", carbonapi.ErrInvalidScenario, err)

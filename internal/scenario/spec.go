@@ -26,6 +26,7 @@ import (
 	"math"
 	"strings"
 
+	"pcaps/internal/arrivals"
 	"pcaps/internal/carbon"
 	"pcaps/internal/sched"
 )
@@ -97,16 +98,81 @@ type Spec struct {
 
 // WorkloadSpec configures the job batch of every trial.
 type WorkloadSpec struct {
-	// Mix is the workload family: "tpch", "alibaba", or "both".
-	Mix string `json:"mix"`
+	// Mix is the workload family: "tpch", "alibaba", or "both". Mutually
+	// exclusive with Classes, which carry their own per-class mixes.
+	Mix string `json:"mix,omitempty"`
 	// Jobs is the batch size (0: family default).
 	Jobs int `json:"jobs,omitempty"`
 	// Sizes runs the comparison family at several batch sizes and
 	// averages across them (default 25/50/100 when Jobs is unset).
 	Sizes []int `json:"sizes,omitempty"`
-	// MeanInterarrivalSec is the Poisson interarrival mean (0: 30, the
-	// paper default).
-	MeanInterarrivalSec float64 `json:"mean_interarrival_sec,omitempty"`
+	// MeanInterarrivalSec is the Poisson interarrival mean. Omitted (nil)
+	// means the paper's 30-second default; an explicit 0 is rejected
+	// rather than silently selecting the default. Mutually exclusive
+	// with Arrivals (which carries its own rate fields).
+	MeanInterarrivalSec *float64 `json:"mean_interarrival_sec,omitempty"`
+	// Arrivals selects a non-Poisson open-loop arrival process
+	// (internal/arrivals); nil keeps the paper's Poisson batch.
+	Arrivals *ArrivalsSpec `json:"arrivals,omitempty"`
+	// Classes makes the batch heterogeneous: each arrival draws one of
+	// the named classes by weight (or takes the class its schedule row
+	// names) and builds that class's DAG family at its work scale.
+	Classes []ClassSpec `json:"classes,omitempty"`
+}
+
+// ArrivalsSpec declares the workload's arrival process — the scenario
+// grammar over arrivals.Spec. Exactly the fields of the selected kind
+// apply; see internal/arrivals for the per-kind semantics.
+type ArrivalsSpec struct {
+	// Kind selects the process: poisson, constant, ramp, burst, diurnal,
+	// or csv.
+	Kind string `json:"kind"`
+	// MeanSec is the poisson kind's mean interarrival gap. Omitted (nil)
+	// means the paper's 30-second default; an explicit 0 is rejected.
+	MeanSec *float64 `json:"mean_sec,omitempty"`
+	// RPS is the base rate in jobs/second (constant rate, ramp start,
+	// off-burst rate, diurnal trough).
+	RPS float64 `json:"rps,omitempty"`
+	// PeakRPS is the high rate (ramp end, in-burst rate, diurnal peak).
+	PeakRPS float64 `json:"peak_rps,omitempty"`
+	// PeriodSec is the shape's time scale (ramp rise time, burst/diurnal
+	// cycle length).
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	// BurstSec is the burst kind's spike duration per period.
+	BurstSec float64 `json:"burst_sec,omitempty"`
+	// CSV is the csv kind's schedule file (class,arrival_sec columns,
+	// the shape `tracegen -scenario` emits and arrivals.ReadCSV decodes).
+	CSV string `json:"csv,omitempty"`
+}
+
+// ClassSpec declares one heterogeneous workload class.
+type ClassSpec struct {
+	// Name labels the class (job.Class, schedule class column).
+	Name string `json:"name"`
+	// Mix is the class's DAG family: "tpch", "alibaba", or "both".
+	Mix string `json:"mix"`
+	// Weight is the class's relative arrival share; must be positive.
+	Weight float64 `json:"weight"`
+	// WorkScale multiplies the class's stage durations (0: 1, the
+	// family's published scale).
+	WorkScale float64 `json:"work_scale,omitempty"`
+}
+
+// arrivals lowers the scenario grammar to the arrivals package's spec.
+// The csv kind's schedule is not loaded here — times are resolved from
+// the file at run time; validation substitutes a placeholder.
+func (a *ArrivalsSpec) arrivals() arrivals.Spec {
+	s := arrivals.Spec{
+		Kind:      a.Kind,
+		RPS:       a.RPS,
+		PeakRPS:   a.PeakRPS,
+		PeriodSec: a.PeriodSec,
+		BurstSec:  a.BurstSec,
+	}
+	if a.MeanSec != nil {
+		s.MeanSec = *a.MeanSec
+	}
+	return s
 }
 
 // ClusterSpec declares one cluster and its carbon source.
@@ -356,11 +422,39 @@ func (s *Spec) Validate() error {
 }
 
 func (s *Spec) validateWorkload() error {
-	if s.Workload.Mix == "" {
-		return fieldErr("workload.mix", "empty workload (have %s)", strings.Join(mixKinds, ", "))
+	w := s.Workload
+	if len(w.Classes) > 0 {
+		if w.Mix != "" {
+			// The mix would be silently shadowed by the per-class mixes.
+			return fieldErr("workload.mix", "mix and classes are mutually exclusive; classes carry their own mixes")
+		}
+	} else {
+		if w.Mix == "" {
+			return fieldErr("workload.mix", "empty workload (have %s)", strings.Join(mixKinds, ", "))
+		}
+		if !oneOf(w.Mix, mixKinds) {
+			return fieldErr("workload.mix", "unknown workload mix %q (have %s)", w.Mix, strings.Join(mixKinds, ", "))
+		}
 	}
-	if !oneOf(s.Workload.Mix, mixKinds) {
-		return fieldErr("workload.mix", "unknown workload mix %q (have %s)", s.Workload.Mix, strings.Join(mixKinds, ", "))
+	names := map[string]bool{}
+	for i, c := range w.Classes {
+		field := fmt.Sprintf("workload.classes[%d]", i)
+		if c.Name == "" {
+			return fieldErr(field+".name", "missing class name")
+		}
+		if names[c.Name] {
+			return fieldErr(field+".name", "duplicate class name %q", c.Name)
+		}
+		names[c.Name] = true
+		if !oneOf(c.Mix, mixKinds) {
+			return fieldErr(field+".mix", "unknown workload mix %q (have %s)", c.Mix, strings.Join(mixKinds, ", "))
+		}
+		if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return fieldErr(field+".weight", "class weight %v is not positive", c.Weight)
+		}
+		if c.WorkScale < 0 || math.IsNaN(c.WorkScale) || math.IsInf(c.WorkScale, 0) {
+			return fieldErr(field+".work_scale", "work scale %v is not a non-negative finite number", c.WorkScale)
+		}
 	}
 	if s.Workload.Jobs < 0 {
 		return fieldErr("workload.jobs", "negative batch size %d", s.Workload.Jobs)
@@ -381,8 +475,46 @@ func (s *Spec) validateWorkload() error {
 			return fieldErr("workload.sizes", "jobs and sizes are mutually exclusive; declare the batch once")
 		}
 	}
-	if s.Workload.MeanInterarrivalSec < 0 {
-		return fieldErr("workload.mean_interarrival_sec", "negative interarrival %v", s.Workload.MeanInterarrivalSec)
+	if m := w.MeanInterarrivalSec; m != nil {
+		if w.Arrivals != nil {
+			// One of the two rates would silently win.
+			return fieldErr("workload.mean_interarrival_sec", "mean_interarrival_sec and arrivals are mutually exclusive; declare the arrival process once")
+		}
+		if *m <= 0 || math.IsNaN(*m) || math.IsInf(*m, 0) {
+			return fieldErr("workload.mean_interarrival_sec", "interarrival %v is not positive (omit the field for the 30 s default)", *m)
+		}
+	}
+	return s.validateArrivals()
+}
+
+// validateArrivals checks workload.arrivals, relocating the arrivals
+// package's field errors under the spec path the way validatePolicy
+// relocates sched.ParamError.
+func (s *Spec) validateArrivals() error {
+	a := s.Workload.Arrivals
+	if a == nil {
+		return nil
+	}
+	if a.MeanSec != nil && (*a.MeanSec <= 0 || math.IsNaN(*a.MeanSec) || math.IsInf(*a.MeanSec, 0)) {
+		return fieldErr("workload.arrivals.mean_sec", "interarrival %v is not positive (omit the field for the 30 s default)", *a.MeanSec)
+	}
+	as := a.arrivals()
+	if as.Kind == arrivals.KindCSV {
+		if a.CSV == "" {
+			return fieldErr("workload.arrivals.csv", "csv kind needs a schedule file path")
+		}
+		// The schedule is loaded at run time; validate the other fields
+		// against a placeholder so misapplied knobs are still rejected.
+		as.Times = []float64{0}
+	} else if a.CSV != "" {
+		return fieldErr("workload.arrivals.csv", "field does not apply to the %s kind", as.Kind)
+	}
+	if err := as.Validate(); err != nil {
+		var fe *arrivals.FieldError
+		if errors.As(err, &fe) {
+			return fieldErr("workload.arrivals."+fe.Field, "%s", fe.Msg)
+		}
+		return fieldErr("workload.arrivals", "%v", err)
 	}
 	return nil
 }

@@ -171,6 +171,73 @@ func TestValidateRejects(t *testing.T) {
 			s.Sweep = &SweepSpec{Values: []float64{1}, Policy: PolicySpec{Kind: "cap"}}
 			s.Federation = &FederationSpec{Routers: []RouterSpec{{Kind: "round-robin"}}}
 		}, []string{"sweep", "mutually exclusive"}},
+		// An explicit zero interarrival is an error, never a silent rebind
+		// to the 30-second default (the field is a pointer so the two are
+		// distinguishable).
+		{"explicit zero interarrival", func(s *Spec) {
+			zero := 0.0
+			s.Workload.MeanInterarrivalSec = &zero
+		}, []string{"workload.mean_interarrival_sec", "not positive"}},
+		{"negative interarrival", func(s *Spec) {
+			neg := -3.0
+			s.Workload.MeanInterarrivalSec = &neg
+		}, []string{"workload.mean_interarrival_sec", "not positive"}},
+		{"interarrival alongside arrivals", func(s *Spec) {
+			m := 30.0
+			s.Workload.MeanInterarrivalSec = &m
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "constant", RPS: 1}
+		}, []string{"workload.mean_interarrival_sec", "mutually exclusive"}},
+		{"unknown arrival kind", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "poison"}
+		}, []string{"workload.arrivals.kind", `unknown arrival kind "poison"`}},
+		{"constant without rps", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "constant"}
+		}, []string{"workload.arrivals.rps", "positive rate"}},
+		{"burst without burst_sec", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "burst", RPS: 1, PeakRPS: 4, PeriodSec: 100}
+		}, []string{"workload.arrivals.burst_sec", "positive burst duration"}},
+		{"peak below base", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "ramp", RPS: 4, PeakRPS: 1, PeriodSec: 100}
+		}, []string{"workload.arrivals.peak_rps", "below base rate"}},
+		{"knob on wrong arrival kind", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "poisson", RPS: 2}
+		}, []string{"workload.arrivals.rps", "does not apply"}},
+		{"csv arrival without path", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "csv"}
+		}, []string{"workload.arrivals.csv", "schedule file path"}},
+		{"csv path on generated kind", func(s *Spec) {
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "diurnal", RPS: 1, PeakRPS: 2, PeriodSec: 60, CSV: "x.csv"}
+		}, []string{"workload.arrivals.csv", "does not apply"}},
+		{"explicit zero mean_sec", func(s *Spec) {
+			zero := 0.0
+			s.Workload.Arrivals = &ArrivalsSpec{Kind: "poisson", MeanSec: &zero}
+		}, []string{"workload.arrivals.mean_sec", "not positive"}},
+		{"mix alongside classes", func(s *Spec) {
+			s.Workload.Classes = []ClassSpec{{Name: "a", Mix: "tpch", Weight: 1}}
+		}, []string{"workload.mix", "mutually exclusive"}},
+		{"class without name", func(s *Spec) {
+			s.Workload.Mix = ""
+			s.Workload.Classes = []ClassSpec{{Mix: "tpch", Weight: 1}}
+		}, []string{"workload.classes[0].name", "missing class name"}},
+		{"duplicate class name", func(s *Spec) {
+			s.Workload.Mix = ""
+			s.Workload.Classes = []ClassSpec{
+				{Name: "a", Mix: "tpch", Weight: 1},
+				{Name: "a", Mix: "alibaba", Weight: 1},
+			}
+		}, []string{"workload.classes[1].name", `duplicate class name "a"`}},
+		{"class with unknown mix", func(s *Spec) {
+			s.Workload.Mix = ""
+			s.Workload.Classes = []ClassSpec{{Name: "a", Mix: "spark", Weight: 1}}
+		}, []string{"workload.classes[0].mix", `unknown workload mix "spark"`}},
+		{"class with zero weight", func(s *Spec) {
+			s.Workload.Mix = ""
+			s.Workload.Classes = []ClassSpec{{Name: "a", Mix: "tpch"}}
+		}, []string{"workload.classes[0].weight", "not positive"}},
+		{"class with negative work scale", func(s *Spec) {
+			s.Workload.Mix = ""
+			s.Workload.Classes = []ClassSpec{{Name: "a", Mix: "tpch", Weight: 1, WorkScale: -2}}
+		}, []string{"workload.classes[0].work_scale", "non-negative"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -209,6 +276,25 @@ func TestValidateAccepts(t *testing.T) {
 				SinglePins: true,
 				Routers:    []RouterSpec{{Kind: "round-robin"}, {Kind: "forecast-aware"}},
 			},
+		},
+		"burst arrivals with classes": {
+			Name: "b",
+			Workload: WorkloadSpec{
+				Jobs:     8,
+				Arrivals: &ArrivalsSpec{Kind: "burst", RPS: 0.5, PeakRPS: 4, PeriodSec: 300, BurstSec: 30},
+				Classes: []ClassSpec{
+					{Name: "interactive", Mix: "tpch", Weight: 3, WorkScale: 0.5},
+					{Name: "production", Mix: "alibaba", Weight: 1, WorkScale: 2},
+				},
+			},
+			Baseline: &PolicySpec{Kind: "fifo"},
+			Policies: []PolicySpec{{Kind: "pcaps"}},
+		},
+		"csv arrivals": {
+			Name:     "csv",
+			Workload: WorkloadSpec{Mix: "tpch", Jobs: 4, Arrivals: &ArrivalsSpec{Kind: "csv", CSV: "sched.csv"}},
+			Baseline: &PolicySpec{Kind: "fifo"},
+			Policies: []PolicySpec{{Kind: "pcaps"}},
 		},
 		"explicit clusters": {
 			Name: "c",

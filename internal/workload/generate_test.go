@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pcaps/internal/arrivals"
+)
+
+// TestGenerateMatchesBatch pins the byte-identity contract: Generate
+// with an explicit Poisson process is the exact historical Batch — same
+// shapes, same arrival times, for every mix.
+func TestGenerateMatchesBatch(t *testing.T) {
+	for _, mix := range []Mix{MixTPCH, MixAlibaba, MixBoth} {
+		legacy := Batch(BatchConfig{N: 60, MeanInterarrival: 30, Mix: mix, Seed: 7})
+		got, err := Generate(GenConfig{
+			N:        60,
+			Arrivals: arrivals.Poisson{MeanSec: 30},
+			Mix:      mix,
+			Seed:     7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(legacy) {
+			t.Fatalf("mix %v: %d jobs vs %d", mix, len(got), len(legacy))
+		}
+		for i := range got {
+			if got[i].Arrival != legacy[i].Arrival {
+				t.Fatalf("mix %v job %d: arrival %v vs %v", mix, i, got[i].Arrival, legacy[i].Arrival)
+			}
+			if got[i].Name != legacy[i].Name || got[i].TotalWork() != legacy[i].TotalWork() {
+				t.Fatalf("mix %v job %d: shape differs (%s/%v vs %s/%v)",
+					mix, i, got[i].Name, got[i].TotalWork(), legacy[i].Name, legacy[i].TotalWork())
+			}
+			if got[i].Class != "" {
+				t.Fatalf("mix %v job %d: homogeneous batch tagged class %q", mix, i, got[i].Class)
+			}
+		}
+	}
+}
+
+func TestGenerateNilArrivalsDefaultsToPoisson(t *testing.T) {
+	got, err := Generate(GenConfig{N: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Batch(BatchConfig{N: 20, Seed: 3})
+	for i := range got {
+		if got[i].Arrival != want[i].Arrival {
+			t.Fatalf("job %d: arrival %v vs %v", i, got[i].Arrival, want[i].Arrival)
+		}
+	}
+}
+
+func TestGenerateClasses(t *testing.T) {
+	classes := []Class{
+		{Name: "interactive", Mix: MixTPCH, Weight: 3, WorkScale: 0.25},
+		{Name: "production", Mix: MixAlibaba, Weight: 1, WorkScale: 2},
+	}
+	jobs, err := Generate(GenConfig{N: 400, Classes: classes, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, j := range jobs {
+		counts[j.Class]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("classes drawn: %v", counts)
+	}
+	// 3:1 weights — the interactive share should be near 75%.
+	share := float64(counts["interactive"]) / float64(len(jobs))
+	if math.Abs(share-0.75) > 0.08 {
+		t.Fatalf("interactive share %.2f, want ≈0.75 (counts %v)", share, counts)
+	}
+
+	// Determinism: identical config draws the identical class sequence.
+	again, err := Generate(GenConfig{N: 400, Classes: classes, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if jobs[i].Class != again[i].Class || jobs[i].Arrival != again[i].Arrival {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateWorkScale(t *testing.T) {
+	base, err := Generate(GenConfig{N: 30, Classes: []Class{{Name: "c", Mix: MixTPCH, Weight: 1}}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Generate(GenConfig{N: 30, Classes: []Class{{Name: "c", Mix: MixTPCH, Weight: 1, WorkScale: 2}}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		want := 2 * base[i].TotalWork()
+		if math.Abs(scaled[i].TotalWork()-want) > 1e-9*want {
+			t.Fatalf("job %d: scaled work %v, want %v", i, scaled[i].TotalWork(), want)
+		}
+	}
+}
+
+func TestGenerateScheduleClasses(t *testing.T) {
+	proc := arrivals.Schedule{
+		Times:   []float64{0, 10, 20, 30},
+		Classes: []string{"a", "b", "", "a"},
+	}
+	classes := []Class{
+		{Name: "a", Mix: MixTPCH, Weight: 1},
+		{Name: "b", Mix: MixAlibaba, Weight: 1},
+	}
+	jobs, err := Generate(GenConfig{N: 4, Arrivals: proc, Classes: classes, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{0, 10, 20, 30} {
+		if jobs[i].Arrival != want {
+			t.Fatalf("job %d: arrival %v, want %v", i, jobs[i].Arrival, want)
+		}
+	}
+	if jobs[0].Class != "a" || jobs[1].Class != "b" || jobs[3].Class != "a" {
+		t.Fatalf("labeled arrivals took wrong classes: %q %q %q %q",
+			jobs[0].Class, jobs[1].Class, jobs[2].Class, jobs[3].Class)
+	}
+	if jobs[2].Class != "a" && jobs[2].Class != "b" {
+		t.Fatalf("unlabeled arrival drew class %q", jobs[2].Class)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	short := arrivals.Schedule{Times: []float64{0, 1}}
+	if _, err := Generate(GenConfig{N: 3, Arrivals: short, Seed: 1}); err == nil {
+		t.Fatal("expected an error for a schedule shorter than N")
+	}
+	unknown := arrivals.Schedule{Times: []float64{0}, Classes: []string{"nope"}}
+	if _, err := Generate(GenConfig{
+		N: 1, Arrivals: unknown, Seed: 1,
+		Classes: []Class{{Name: "a", Mix: MixTPCH, Weight: 1}},
+	}); err == nil {
+		t.Fatal("expected an error for an unknown schedule class label")
+	}
+	if _, err := Generate(GenConfig{
+		N: 1, Seed: 1, Classes: []Class{{Name: "a", Mix: MixTPCH, Weight: 0}},
+	}); err == nil {
+		t.Fatal("expected an error for a zero class weight")
+	}
+	if _, err := Generate(GenConfig{
+		N: 1, Seed: 1,
+		Classes: []Class{{Name: "a", Mix: MixTPCH, Weight: 1}, {Name: "a", Mix: MixTPCH, Weight: 1}},
+	}); err == nil {
+		t.Fatal("expected an error for duplicate class names")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 
+	"pcaps/internal/arrivals"
 	"pcaps/internal/dag"
 )
 
@@ -258,33 +259,156 @@ type BatchConfig struct {
 }
 
 // Batch generates a continuously arriving batch of jobs: job IDs 0..N−1
-// with exponential interarrival gaps.
+// with exponential interarrival gaps — the paper's workload shape. It
+// is a thin wrapper over Generate with a Poisson arrival process; the
+// draw interleaving (job i's shape draws, then its gap draw) is
+// identical, so batches are byte-for-byte the historical ones.
 func Batch(cfg BatchConfig) []*dag.Job {
+	mean := cfg.MeanInterarrival
+	if mean <= 0 {
+		mean = arrivals.DefaultPoissonMeanSec
+	}
+	jobs, err := Generate(GenConfig{
+		N:        cfg.N,
+		Arrivals: arrivals.Poisson{MeanSec: mean},
+		Mix:      cfg.Mix,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		panic(err) // unreachable: Poisson is open-ended and classless
+	}
+	return jobs
+}
+
+// Class describes one heterogeneous job class: a named DAG family with
+// an arrival weight and a work scale, so one batch can mix short
+// interactive queries with heavy production DAGs.
+type Class struct {
+	// Name labels the class (job.Class, schedule CSV class column).
+	Name string
+	// Mix selects the class's DAG family.
+	Mix Mix
+	// Weight is the class's relative arrival share; classes are drawn
+	// proportionally to their weights. Must be positive.
+	Weight float64
+	// WorkScale multiplies every stage duration of the class's jobs
+	// (0 selects 1, the family's published scale).
+	WorkScale float64
+}
+
+// GenConfig parameterizes Generate, the arrival-process-driven batch
+// generator.
+type GenConfig struct {
+	// N is the number of jobs.
+	N int
+	// Arrivals is the open-loop arrival process; nil selects the
+	// paper's Poisson at the 30-second mean.
+	Arrivals arrivals.Process
+	// Mix selects the workload family for homogeneous batches (Classes
+	// empty).
+	Mix Mix
+	// Classes, when non-empty, makes the batch heterogeneous: each
+	// arrival draws a class by weight (or takes the class the arrival
+	// schedule names) and builds that class's DAG shape.
+	Classes []Class
+	// Seed makes the batch reproducible. Every stochastic choice —
+	// DAG shapes, class picks, and the arrival process's draws — comes
+	// from this one seeded stream.
+	Seed int64
+}
+
+// fromMix draws one job of the given family — the historical Batch
+// dispatch, byte-identical in its RNG consumption.
+func fromMix(mix Mix, r *rand.Rand, id int) *dag.Job {
+	switch mix {
+	case MixAlibaba:
+		return Alibaba(r, id)
+	case MixBoth:
+		if id%2 == 0 {
+			return TPCH(r, id)
+		}
+		return Alibaba(r, id)
+	default:
+		return TPCH(r, id)
+	}
+}
+
+// Generate builds a batch of jobs whose arrival times come from an
+// arrival process and whose shapes come from a workload mix or a
+// heterogeneous class set. Job IDs are 0..N−1 in arrival order.
+//
+// Errors are configuration errors: a finite schedule shorter than N, a
+// schedule class label naming no declared class, or a non-positive
+// class weight.
+func Generate(cfg GenConfig) ([]*dag.Job, error) {
+	proc := cfg.Arrivals
+	if proc == nil {
+		proc = arrivals.Poisson{MeanSec: arrivals.DefaultPoissonMeanSec}
+	}
+	if f, ok := proc.(arrivals.Finite); ok && cfg.N > f.Len() {
+		return nil, fmt.Errorf("workload: batch of %d jobs exceeds the %d-arrival schedule", cfg.N, f.Len())
+	}
+	byName := make(map[string]int, len(cfg.Classes))
+	var totalWeight float64
+	for i, c := range cfg.Classes {
+		if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
+			return nil, fmt.Errorf("workload: class %q weight %v is not positive", c.Name, c.Weight)
+		}
+		if _, dup := byName[c.Name]; dup {
+			return nil, fmt.Errorf("workload: duplicate class name %q", c.Name)
+		}
+		byName[c.Name] = i
+		totalWeight += c.Weight
+	}
+	classed, _ := proc.(arrivals.Classed)
+
 	r := rand.New(rand.NewSource(cfg.Seed))
-	if cfg.MeanInterarrival <= 0 {
-		cfg.MeanInterarrival = 30
+	t := 0.0
+	if a, ok := proc.(arrivals.Anchored); ok {
+		t = a.Start()
 	}
 	jobs := make([]*dag.Job, 0, cfg.N)
-	t := 0.0
 	for i := 0; i < cfg.N; i++ {
 		var j *dag.Job
-		switch cfg.Mix {
-		case MixAlibaba:
-			j = Alibaba(r, i)
-		case MixBoth:
-			if i%2 == 0 {
-				j = TPCH(r, i)
-			} else {
-				j = Alibaba(r, i)
+		if len(cfg.Classes) == 0 {
+			j = fromMix(cfg.Mix, r, i)
+		} else {
+			ci := -1
+			if classed != nil {
+				if label := classed.ClassAt(i); label != "" {
+					idx, ok := byName[label]
+					if !ok {
+						return nil, fmt.Errorf("workload: schedule arrival %d names unknown class %q", i, label)
+					}
+					ci = idx
+				}
 			}
-		default:
-			j = TPCH(r, i)
+			if ci < 0 {
+				// Weighted class pick; the draw precedes the job's shape
+				// draws so a schedule with partial labels stays replayable.
+				u := r.Float64() * totalWeight
+				for k := range cfg.Classes {
+					u -= cfg.Classes[k].Weight
+					ci = k
+					if u < 0 {
+						break
+					}
+				}
+			}
+			c := cfg.Classes[ci]
+			j = fromMix(c.Mix, r, i)
+			j.Class = c.Name
+			if c.WorkScale > 0 && c.WorkScale != 1 {
+				for _, s := range j.Stages {
+					s.TaskDuration *= c.WorkScale
+				}
+			}
 		}
 		j.Arrival = t
 		jobs = append(jobs, j)
-		t += r.ExpFloat64() * cfg.MeanInterarrival
+		t += proc.Gap(i, t, r)
 	}
-	return jobs
+	return jobs, nil
 }
 
 // TotalWork sums the batch's work in executor-seconds.
