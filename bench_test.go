@@ -198,6 +198,28 @@ func BenchmarkOverloadLoop(b *testing.B) {
 	b.ReportMetric(backlog, "mean-backlog")
 }
 
+// Hyperscale streaming benchmarks (DESIGN.md §10): drive sim.RunStream
+// through capacity-matched constant-arrival cells and pin the two scale
+// claims as metrics — jobs/sec (throughput) and peak_heap_mb (memory
+// tracks the in-flight population, not the job count; see
+// hyperscaleStreamPeak in scale_test.go for the sampling harness). The
+// Smoke variant is small enough for the raced 1-iteration CI pass; the
+// 1M cell is the headline BENCH number.
+
+func benchHyperscaleStream(b *testing.B, jobs, execs int) {
+	b.ReportAllocs()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		peak = hyperscaleStreamPeak(b, jobs, execs, &sched.FIFO{})
+	}
+	b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+	b.ReportMetric(peak, "peak_heap_mb")
+}
+
+func BenchmarkHyperscaleStreamSmoke(b *testing.B) { benchHyperscaleStream(b, 2_000, 200) }
+func BenchmarkHyperscaleStream100k(b *testing.B)  { benchHyperscaleStream(b, 100_000, 1000) }
+func BenchmarkHyperscaleStream1M(b *testing.B)    { benchHyperscaleStream(b, 1_000_000, 1000) }
+
 // Scheduling-loop microbenchmarks: unlike the artifact benchmarks above,
 // these time the simulator's hot path directly — many small stages, high
 // executor counts, and executor-holding on and off — with allocs/op

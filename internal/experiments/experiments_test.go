@@ -41,7 +41,7 @@ func TestIDsCoverPaperArtifacts(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-		"fig18", "fig19", "fig20", "ablation", "federation", "overload",
+		"fig18", "fig19", "fig20", "ablation", "federation", "hyperscale", "overload",
 	}
 	got := IDs()
 	if len(got) != len(want) {

@@ -1,0 +1,194 @@
+package metrics
+
+import "sort"
+
+// Streaming reducers for the hyperscale engine (DESIGN.md §10): constant-
+// memory substitutes for the O(jobs) reductions above. Quantiles come
+// from the P² sketch of Jain & Chlamtac (CACM 1985) — five markers per
+// tracked quantile, parabolic interpolation between them — and the
+// backlog step function is folded into its time-weighted mean and peak
+// as events stream past instead of being materialized and re-sorted.
+// Both are deterministic: identical observation sequences produce
+// identical answers, so artifact digits built on them are stable; but a
+// sketch quantile is an estimate, not the order statistic Quantile
+// returns, and the two must not be compared bit-for-bit.
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory.
+// The zero value is not ready; construct with NewP2Quantile.
+type P2Quantile struct {
+	p float64
+	n int64
+	// q and pos are the five marker heights and (1-based) positions;
+	// want holds the desired positions, advanced by inc per observation.
+	q    [5]float64
+	pos  [5]int64
+	want [5]float64
+	inc  [5]float64
+}
+
+// NewP2Quantile returns a sketch tracking the q-th quantile, q in (0,1).
+func NewP2Quantile(q float64) *P2Quantile {
+	s := &P2Quantile{p: q}
+	s.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	s.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return s
+}
+
+// Add folds one observation into the sketch.
+//
+//pcaps:hotpath
+func (s *P2Quantile) Add(x float64) {
+	s.n++
+	if s.n <= 5 {
+		// Insertion-sort the first five observations into the markers.
+		i := int(s.n) - 1
+		s.q[i] = x
+		for i > 0 && s.q[i-1] > s.q[i] {
+			s.q[i-1], s.q[i] = s.q[i], s.q[i-1]
+			i--
+		}
+		for k := range s.pos {
+			s.pos[k] = int64(k + 1)
+		}
+		return
+	}
+	// Locate the cell and clamp the extremes.
+	var k int
+	switch {
+	case x < s.q[0]:
+		s.q[0] = x
+		k = 0
+	case x >= s.q[4]:
+		s.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.inc[i]
+	}
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - float64(s.pos[i])
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := int64(1)
+			if d < 0 {
+				sign = -1
+			}
+			nq := s.parabolic(i, sign)
+			if s.q[i-1] < nq && nq < s.q[i+1] {
+				s.q[i] = nq
+			} else {
+				s.q[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker adjustment.
+func (s *P2Quantile) parabolic(i int, d int64) float64 {
+	df := float64(d)
+	n0, n1, n2 := float64(s.pos[i-1]), float64(s.pos[i]), float64(s.pos[i+1])
+	return s.q[i] + df/(n2-n0)*
+		((n1-n0+df)*(s.q[i+1]-s.q[i])/(n2-n1)+
+			(n2-n1-df)*(s.q[i]-s.q[i-1])/(n1-n0))
+}
+
+// linear is the fallback adjustment when the parabola overshoots a
+// neighbouring marker.
+func (s *P2Quantile) linear(i int, d int64) float64 {
+	j := i + int(d)
+	return s.q[i] + float64(d)*(s.q[j]-s.q[i])/float64(s.pos[j]-s.pos[i])
+}
+
+// Count returns the number of observations folded in.
+func (s *P2Quantile) Count() int64 { return s.n }
+
+// Value returns the current quantile estimate. With five or fewer
+// observations it is exact (the Quantile convention on the sorted
+// sample); beyond that it is the sketch's center marker.
+func (s *P2Quantile) Value() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if s.n <= 5 {
+		xs := append([]float64(nil), s.q[:s.n]...)
+		sort.Float64s(xs)
+		return Quantile(xs, s.p)
+	}
+	return s.q[2]
+}
+
+// StreamBacklog folds the in-flight job count into its time-weighted
+// mean and peak without materializing the step function. Events must be
+// observed in non-decreasing time order — the order a discrete-event
+// engine produces them in. The zero value is ready to use.
+type StreamBacklog struct {
+	depth    int
+	peak     int
+	area     float64
+	lastT    float64
+	firstT   float64
+	observed bool
+}
+
+// advance accrues the current depth up to time t.
+//
+//pcaps:hotpath
+func (b *StreamBacklog) advance(t float64) {
+	if !b.observed {
+		b.observed = true
+		b.firstT = t
+		b.lastT = t
+		return
+	}
+	if t > b.lastT {
+		b.area += float64(b.depth) * (t - b.lastT)
+		b.lastT = t
+	}
+}
+
+// Arrive records a job entering the system at time t.
+//
+//pcaps:hotpath
+func (b *StreamBacklog) Arrive(t float64) {
+	b.advance(t)
+	b.depth++
+	if b.depth > b.peak {
+		b.peak = b.depth
+	}
+}
+
+// Complete records a job leaving the system at time t.
+//
+//pcaps:hotpath
+func (b *StreamBacklog) Complete(t float64) {
+	b.advance(t)
+	b.depth--
+}
+
+// Peak returns the maximum observed depth.
+func (b *StreamBacklog) Peak() int { return b.peak }
+
+// Mean returns the time-weighted mean depth over [first event, last
+// event], the span BacklogStats uses. Engine event order applies depth
+// changes at equal timestamps in arrival-before-completion order (the
+// order the events fired), whereas the materialized Backlog sorts
+// completions first at ties — ties have zero duration, so the mean is
+// unaffected, but the streamed Peak can exceed the sorted one by the
+// number of simultaneous hand-offs.
+func (b *StreamBacklog) Mean() float64 {
+	span := b.lastT - b.firstT
+	if span <= 0 {
+		return 0
+	}
+	return b.area / span
+}

@@ -100,6 +100,17 @@ func mustRun(cfg sim.Config, jobs []*dag.Job, s sim.Scheduler) *sim.Result {
 	return res
 }
 
+// mustRunStream runs one member simulation through the streaming engine,
+// drawing jobs lazily from a fresh workload source (fail-fast through the
+// pool, like mustRun).
+func mustRunStream(cfg sim.Config, src sim.JobSource, s sim.Scheduler) *sim.Result {
+	res, err := sim.RunStream(cfg, src, s)
+	if err != nil {
+		panic(simError{fmt.Errorf("scenario: %s: %w", s.Name(), err)})
+	}
+	return res
+}
+
 // mustRunGroup runs one cell's policy variants as a common-prefix group
 // (sim.RunGroup): one shared simulation up to the first policy-divergent
 // decision, per-variant forks after. Results are positionally parallel
@@ -357,6 +368,24 @@ func (r *runEnv) batch(n int, batchSeed int64) []*dag.Job {
 	return jobs
 }
 
+// source opens the same seeded job stream batch materializes, lazily —
+// each caller gets a fresh source, so every policy of a streaming cell
+// observes the identical arrival sequence.
+func (r *runEnv) source(n int, batchSeed int64) sim.JobSource {
+	src, err := workload.NewSource(workload.GenConfig{
+		N: n, Arrivals: r.proc, Mix: r.mix, Classes: r.classes, Seed: batchSeed,
+	})
+	if err != nil {
+		panic(simError{fmt.Errorf("scenario: workload: %w", err)})
+	}
+	return src
+}
+
+// streaming reports whether the spec selects the hyperscale engine.
+func (r *runEnv) streaming() bool {
+	return r.spec.Engine != nil && r.spec.Engine.Stream
+}
+
 // pricing returns the scenario's carbon pricing, or nil when unpriced.
 func (r *runEnv) pricing() *carbon.Pricing {
 	if r.spec.CarbonPriceUSDPerTonne <= 0 {
@@ -441,9 +470,24 @@ func (r *runEnv) runComparison() (*result.Artifact, error) {
 		c := cells[i]
 		m := members[c.member]
 		cellSeed := seed.Derive(r.seed, m.key, int64(c.size), int64(c.trial))
-		jobs := r.batch(c.size, cellSeed)
 		tr := trialWindow(m.trace, 60+c.size, cellSeed)
 		cfg := r.baseConfig(tr, cellSeed, m)
+		if r.streaming() {
+			// Hyperscale mode: each policy drains a fresh copy of the
+			// same seeded job stream through the memory-bounded engine.
+			// Summaries are identical to the classic path (the RunStream
+			// equivalence contract, DESIGN.md §10); the comparison reads
+			// only CarbonGrams and ECT, which need no per-job slices.
+			out := map[string]*sim.Result{
+				"": mustRunStream(cfg, r.source(c.size, cellSeed), baseline(cellSeed)),
+			}
+			for _, name := range names {
+				out[name] = mustRunStream(cfg, r.source(c.size, cellSeed), factories[name](cellSeed))
+			}
+			runs[i] = out
+			return
+		}
+		jobs := r.batch(c.size, cellSeed)
 		// The baseline and every policy run as one common-prefix group:
 		// variants share the simulation until their first divergent
 		// decision (sim.RunGroup), which is most of the run for wrapper

@@ -147,6 +147,7 @@ func TestLoadExampleGallery(t *testing.T) {
 		"../../examples/scenarios/federation.yaml",
 		"../../examples/scenarios/priced.json",
 		"../../examples/scenarios/burst-overload.yaml",
+		"../../examples/scenarios/hyperscale.yaml",
 	} {
 		spec, err := Load(path)
 		if err != nil {

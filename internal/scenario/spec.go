@@ -276,6 +276,12 @@ type EngineSpec struct {
 	MoveDelaySec float64 `json:"move_delay_sec,omitempty"`
 	// IdleTimeoutSec is the hold-mode idle window.
 	IdleTimeoutSec float64 `json:"idle_timeout_sec,omitempty"`
+	// Stream runs each cell through the memory-bounded streaming engine
+	// (sim.RunStream over a lazy workload source) instead of
+	// materializing the batch — the hyperscale mode of DESIGN.md §10.
+	// Summaries are identical to the classic engine's; only the
+	// common-prefix group sharing is given up. Comparison family only.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // Known enumerations, used by validation and by error messages. Policy
@@ -286,6 +292,18 @@ var (
 	sourceKinds = []string{"synth", "csv", "carbonapi"}
 	mixKinds    = []string{"tpch", "alibaba", "both"}
 	metricKinds = []string{MetricCarbonReduction, MetricRelativeECT, MetricCostUSD}
+)
+
+// Spec-level scale ceilings: sanity bounds on the CLI path, far above
+// the paper's scales but low enough to reject a typo'd axis before it
+// allocates. (The HTTP service enforces its own much lower ceilings in
+// checkLimits — a shared server cannot absorb hyperscale runs.)
+const (
+	// MaxSpecJobs bounds workload.jobs and each workload.sizes entry.
+	MaxSpecJobs = 5_000_000
+	// MaxSpecExecutors bounds engine.executors and each
+	// clusters[i].executors.
+	MaxSpecExecutors = 100_000
 )
 
 // Metric names Spec.Metrics selects among.
@@ -396,6 +414,9 @@ func (s *Spec) Validate() error {
 		if c.Executors < 0 {
 			return fieldErr(field+".executors", "negative executor count %d", c.Executors)
 		}
+		if c.Executors > MaxSpecExecutors {
+			return fieldErr(field+".executors", "%d exceeds the spec ceiling of %d", c.Executors, MaxSpecExecutors)
+		}
 		name := c.Name
 		if name == "" {
 			name = c.Grid
@@ -407,6 +428,20 @@ func (s *Spec) Validate() error {
 	}
 	if s.CarbonPriceUSDPerTonne < 0 {
 		return fieldErr("carbon_price_usd_per_tonne", "negative carbon price %v", s.CarbonPriceUSDPerTonne)
+	}
+	if e := s.Engine; e != nil {
+		if e.Executors < 0 {
+			return fieldErr("engine.executors", "negative executor count %d", e.Executors)
+		}
+		if e.Executors > MaxSpecExecutors {
+			return fieldErr("engine.executors", "%d exceeds the spec ceiling of %d", e.Executors, MaxSpecExecutors)
+		}
+		if e.Stream && (s.Sweep != nil || s.Federation != nil) {
+			// Sweeps and federations lean on batch replay (common-prefix
+			// groups, per-member routing of one materialized batch); the
+			// flag would be silently ignored there.
+			return fieldErr("engine.stream", "the streaming engine applies to comparison scenarios only")
+		}
 	}
 	if s.Sweep != nil && s.Federation != nil {
 		return fieldErr("sweep", "sweep and federation are mutually exclusive families")
@@ -459,9 +494,15 @@ func (s *Spec) validateWorkload() error {
 	if s.Workload.Jobs < 0 {
 		return fieldErr("workload.jobs", "negative batch size %d", s.Workload.Jobs)
 	}
+	if s.Workload.Jobs > MaxSpecJobs {
+		return fieldErr("workload.jobs", "%d exceeds the spec ceiling of %d", s.Workload.Jobs, MaxSpecJobs)
+	}
 	for i, n := range s.Workload.Sizes {
 		if n <= 0 {
 			return fieldErr(fmt.Sprintf("workload.sizes[%d]", i), "non-positive batch size %d", n)
+		}
+		if n > MaxSpecJobs {
+			return fieldErr(fmt.Sprintf("workload.sizes[%d]", i), "%d exceeds the spec ceiling of %d", n, MaxSpecJobs)
 		}
 	}
 	if len(s.Workload.Sizes) > 0 {

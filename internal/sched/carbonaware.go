@@ -22,6 +22,15 @@ type CAPWrap struct {
 	Inner sim.Scheduler
 	// B is the minimum machine quota guaranteeing progress.
 	B int
+	// WorkConserving redirects a pick the cluster cannot act on — the
+	// inner's chosen stage already runs at its carbon-scaled limit but
+	// still has undispatched tasks, so the assignment loop would bind
+	// zero executors and abort the round (head-of-line blocking,
+	// Appendix A.1.2) — to the first runnable stage that can accept an
+	// executor, still under the quota and the scaled per-stage limit.
+	// Off by default: the historical behaviour lets the round abort,
+	// and the recorded experiment goldens pin it.
+	WorkConserving bool
 
 	caps     map[boundsKey]*core.CAP
 	minQuota int
@@ -89,10 +98,47 @@ func (w *CAPWrap) Pick(c *sim.Cluster) sim.Decision {
 		planned = d.Ref.Stage.Stage.NumTasks
 	}
 	d.Limit = p.ParallelismLimit(planned, c.Carbon())
+	if w.WorkConserving && !refAccepts(c, d.Ref, d.Limit) {
+		d = w.redirect(c, p)
+		if d.Defer {
+			return d
+		}
+	}
 	if d.MaxNew < 1 || d.MaxNew > headroom {
 		d.MaxNew = headroom
 	}
 	return d
+}
+
+// refAccepts reports whether the stage can take at least one new executor
+// under the limit in force and the cluster's per-job cap — i.e. whether
+// the assignment loop would bind anything for this decision.
+//
+//pcaps:hotpath
+func refAccepts(c *sim.Cluster, ref sim.StageRef, limit int) bool {
+	if ref.Stage.Running >= limit || ref.Stage.RemainingTasks() == 0 {
+		return false
+	}
+	if cap := c.PerJobCap(); cap > 0 && ref.Job.Executors >= cap {
+		return false
+	}
+	return true
+}
+
+// redirect is the WorkConserving fallback: the first runnable stage (the
+// view is job-major in arrival order) that can accept an executor under
+// its carbon-scaled limit, or a deferral when every stage is saturated.
+//
+//pcaps:hotpath
+func (w *CAPWrap) redirect(c *sim.Cluster, p *core.CAP) sim.Decision {
+	carbon := c.Carbon()
+	for _, ref := range c.Runnable() {
+		lim := p.ParallelismLimit(ref.Stage.Stage.NumTasks, carbon)
+		if refAccepts(c, ref, lim) {
+			return sim.Decision{Ref: ref, Limit: lim}
+		}
+	}
+	return sim.DeferDecision
 }
 
 // PCAPS is the paper's primary contribution (§4.1, Alg. 1): a carbon-

@@ -159,18 +159,27 @@ func (w *WeightedFair) Pick(c *sim.Cluster) sim.Decision {
 // cpCache memoizes per-job critical-path-work vectors; the DAG never
 // changes after submission, so the vector is computed once per job. Each
 // scheduler instance owns its cache, keeping concurrent runs independent.
+// Entries carry the JobRun's generation: the streaming engine recycles
+// runtime records, so a remembered pointer may now host a different job
+// — a moved generation invalidates the entry (and keeps the cache
+// bounded by peak in-flight records rather than total jobs).
 type cpCache struct {
-	m map[*sim.JobRun][]float64
+	m map[*sim.JobRun]cpEntry
+}
+
+type cpEntry struct {
+	gen int
+	v   []float64
 }
 
 func (c *cpCache) get(j *sim.JobRun) []float64 {
-	if v, ok := c.m[j]; ok {
-		return v
+	if e, ok := c.m[j]; ok && e.gen == j.Generation() {
+		return e.v
 	}
 	if c.m == nil {
-		c.m = map[*sim.JobRun][]float64{}
+		c.m = map[*sim.JobRun]cpEntry{}
 	}
 	v := j.Job.CriticalPathWorkDown()
-	c.m[j] = v
+	c.m[j] = cpEntry{gen: j.Generation(), v: v}
 	return v
 }

@@ -234,6 +234,30 @@ func (p *quotaProbe) Pick(c *sim.Cluster) sim.Decision {
 	return d
 }
 
+func TestCAPWorkConservingKeepsQuotaAndHelpsThroughput(t *testing.T) {
+	// The WorkConserving redirect must change which stage a blocked pick
+	// lands on, never how much work the quota admits: the quota invariant
+	// of TestCAPQuotaNeverExceededByNewAssignments holds unchanged, and
+	// on a batch where FIFO's head-of-line stage saturates its carbon-
+	// scaled limit (Appendix A.1.2) the makespan strictly improves.
+	tr := deTrace(t)
+	jobs := tpchBatch(t, 15, 21)
+	wc := NewCAP(&FIFO{}, 3)
+	wc.WorkConserving = true
+	probe := &quotaProbe{t: t, cap: wc}
+	res, err := sim.Run(sim.Config{NumExecutors: 12, Trace: tr, Seed: 1}, jobs, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sim.Run(sim.Config{NumExecutors: 12, Trace: tr, Seed: 1}, jobs, NewCAP(&FIFO{}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ECT >= plain.ECT {
+		t.Fatalf("work-conserving ECT %v not below blocking ECT %v", res.ECT, plain.ECT)
+	}
+}
+
 func TestPCAPSBetterTradeoffThanCAPDecima(t *testing.T) {
 	// Fig 13's key claim: PCAPS exhibits a strictly better carbon-vs-ECT
 	// trade-off than CAP over the same inner scheduler. We check it at

@@ -79,6 +79,13 @@ func (c *Cluster) push(ev event) {
 	h.up(len(h.items) - 1)
 }
 
+// heapShrinkMin is the smallest backing-array capacity the pop paths
+// will release. Below it the memory at stake is a few KiB and shrinking
+// would only cause reallocation churn; above it, a heap left at 1/4
+// occupancy after a burst drains is returned to half its capacity so a
+// long-running streaming simulation's footprint follows its load.
+const heapShrinkMin = 1024
+
 //pcaps:hotpath
 func (c *Cluster) pop() event {
 	h := &c.events
@@ -89,6 +96,12 @@ func (c *Cluster) pop() event {
 	h.items = h.items[:n]
 	if n > 0 {
 		h.down(0)
+	}
+	if cp := cap(h.items); cp >= heapShrinkMin && n < cp/4 {
+		//hot:alloc heap shrink after a burst drains; amortized by the 4:1 hysteresis
+		items := make([]event, n, cp/2)
+		copy(items, h.items)
+		h.items = items
 	}
 	return top
 }
@@ -138,6 +151,12 @@ func (h *intHeap) pop() int {
 		}
 		s[i], s[min] = s[min], s[i]
 		i = min
+	}
+	if cp := cap(s); cp >= heapShrinkMin && n < cp/4 {
+		//hot:alloc heap shrink after a burst drains; amortized by the 4:1 hysteresis
+		ns := make(intHeap, n, cp/2)
+		copy(ns, s)
+		s = ns
 	}
 	*h = s
 	return top

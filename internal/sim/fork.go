@@ -324,7 +324,6 @@ func (c *Cluster) clone() (*Cluster, map[*JobRun]*JobRun, map[*StageRun]*StageRu
 		ne.job = jm[e.job]
 		ne.stage = sm[e.stage]
 		ne.reserved = jm[e.reserved]
-		ne.lastJob = jm[e.lastJob]
 		n.execs[i] = ne
 		if ne.reserved != nil {
 			ne.reserved.held[ne.heldPos] = ne

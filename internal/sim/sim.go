@@ -97,6 +97,11 @@ type Config struct {
 	// MaxEvents bounds the event loop as a hang guard; 0 selects a
 	// generous default.
 	MaxEvents int
+	// PerJobResults gates the O(jobs) Result slices (JCTs, JobCarbon).
+	// The zero value keeps them for Run (compatibility) and drops them
+	// for RunStream (memory-bounded by construction); PerJobOn / PerJobOff
+	// force either choice on either engine.
+	PerJobResults PerJob
 	// TrackJobUsage additionally records each job's busy
 	// executor-seconds per carbon interval (Result.JobUsage) — the
 	// per-job shading of the paper's occupancy plots (Fig. 6).
@@ -108,6 +113,19 @@ type Config struct {
 	// view slices across calls; Snapshot itself copies what it needs.
 	Observer func(c *Cluster)
 }
+
+// PerJob selects whether a run retains per-job result slices.
+type PerJob int
+
+const (
+	// PerJobDefault keeps per-job slices in Run and drops them in
+	// RunStream — each engine's historical/natural behaviour.
+	PerJobDefault PerJob = iota
+	// PerJobOn always records Result.JCTs and Result.JobCarbon.
+	PerJobOn
+	// PerJobOff always drops them; AvgJCT/ECT/CarbonGrams still come out.
+	PerJobOff
+)
 
 // StageRun is the runtime state of one stage of one job.
 type StageRun struct {
@@ -161,6 +179,15 @@ type JobRun struct {
 	// (HoldExecutors mode), so hold-mode dispatch and job-completion
 	// release never scan the whole cluster.
 	held []*executor
+	// arena backs Stages for pooled runs (RunStream): stage records live
+	// contiguously and are reused across recycles. Nil in the classic
+	// engine, where stage records are allocated individually.
+	arena []StageRun
+	// gen distinguishes successive occupants of a recycled record:
+	// the pool increments it on every acquire, so pointer-keyed caches
+	// (sched's critical-path memo) can detect that a *JobRun they
+	// remember now runs a different job. Always 0 in the classic engine.
+	gen int
 	// holdReady mirrors len(held) > 0 && len(runnable) > 0 — the job can
 	// serve a held executor right now. The cluster counts holdReady jobs
 	// so the hold-mode dispatch pass is skipped entirely when no job has
@@ -169,6 +196,12 @@ type JobRun struct {
 	// again at a stage finish, hold, or arrival transition).
 	holdReady bool
 }
+
+// Generation returns the recycle count of this runtime record (always 0
+// outside the streaming engine). A (pointer, generation) pair is a
+// stable identity for caches that outlive one job's run: when the
+// generation moves, the record was retired and now carries another job.
+func (j *JobRun) Generation() int { return j.gen }
 
 // RemainingWork returns the job's undone work in executor-seconds,
 // counting both undispatched and in-flight tasks.
@@ -227,8 +260,12 @@ type executor struct {
 	// current reservation lapses.
 	reserved   *JobRun
 	holdExpire float64
-	// lastJob remembers the previous binding for move-delay accounting.
-	lastJob *JobRun
+	// lastJob remembers the previous binding's job index for move-delay
+	// accounting (-1 before the first binding). Indices rather than
+	// *JobRun pointers: the streaming engine recycles JobRun records
+	// through a pool, so a pointer could alias a later job and silently
+	// skip its hand-off delay, while indices are never reused.
+	lastJob int
 	// heldPos is this executor's index in reserved.held, for O(1)
 	// removal. Meaningless when reserved is nil.
 	heldPos int
@@ -271,6 +308,15 @@ type Cluster struct {
 	// doneCount counts completed jobs, replacing the historical per-event
 	// scan over all jobs in unfinished().
 	doneCount int
+
+	// streaming marks a RunStream-driven cluster: jobs are admitted from
+	// a source (c.jobs stays empty), admitted counts them, srcDone
+	// records source exhaustion, and finishStage parks completed jobs in
+	// doneScratch for retirement after the event's scheduling pass.
+	streaming   bool
+	srcDone     bool
+	admitted    int
+	doneScratch []*JobRun
 
 	// epoch counts state mutations that can change the scheduler-facing
 	// views; the cached views below are rebuilt (into reused scratch)
@@ -344,6 +390,10 @@ func (c *Cluster) CarbonInterval() float64 { return c.cfg.Trace.Interval }
 
 // K returns the cluster size.
 func (c *Cluster) K() int { return c.cfg.NumExecutors }
+
+// PerJobCap returns the configured per-job executor cap (0 = uncapped),
+// so policies can avoid proposing stages the assignment loop must reject.
+func (c *Cluster) PerJobCap() int { return c.cfg.PerJobCap }
 
 // BusyCount returns the number of executors consuming cluster resources:
 // those running a task plus those held by a job between tasks in
@@ -446,12 +496,14 @@ type Result struct {
 	ECT float64
 	// AvgJCT is the mean job completion time (completion − arrival).
 	AvgJCT float64
-	// JCTs holds each job's completion time, indexed as cfg jobs.
+	// JCTs holds each job's completion time, indexed as cfg jobs. Nil
+	// when per-job results are disabled (Config.PerJobResults).
 	JCTs []float64
 	// CarbonGrams is the total carbon footprint in gCO2eq assuming 1 kW
 	// per busy executor.
 	CarbonGrams float64
-	// JobCarbon holds each job's attributed footprint in gCO2eq.
+	// JobCarbon holds each job's attributed footprint in gCO2eq. Nil
+	// when per-job results are disabled (Config.PerJobResults).
 	JobCarbon []float64
 	// Usage is busy executor-seconds per carbon interval (the timeline
 	// consumed by core.DecomposeSavings).
@@ -462,6 +514,9 @@ type Result struct {
 	// Deferrals and DeferredWork report carbon-filter activity.
 	Deferrals    int
 	DeferredWork float64
+	// Stream carries the streaming reducers' summary; non-nil only for
+	// RunStream results.
+	Stream *StreamStats
 	// TaskRetries counts failed task attempts that were retried.
 	TaskRetries int
 	// TotalWork is the batch's total work in executor-seconds.
@@ -514,7 +569,7 @@ func newCluster(cfg Config, jobs []*dag.Job) (*Cluster, float64, error) {
 	c.execs = make([]*executor, cfg.NumExecutors)
 	c.free = make(intHeap, 0, cfg.NumExecutors)
 	for i := 0; i < cfg.NumExecutors; i++ {
-		c.execs[i] = &executor{id: i}
+		c.execs[i] = &executor{id: i, lastJob: -1}
 		c.free.push(i)
 	}
 	// Preallocate the usage timeline to the trace length so the per-event
@@ -604,14 +659,17 @@ func (c *Cluster) buildResult(name string, totalWork float64, events int) (*Resu
 		TotalWork:    totalWork,
 		Events:       events,
 	}
+	perJob := c.cfg.PerJobResults != PerJobOff
 	var sumJCT float64
 	for _, j := range c.jobs {
 		if !j.Done {
 			return nil, fmt.Errorf("sim: job %d did not complete", j.Job.ID)
 		}
 		jct := j.CompletedAt - j.Job.Arrival
-		res.JCTs = append(res.JCTs, jct)
-		res.JobCarbon = append(res.JobCarbon, j.CarbonGrams)
+		if perJob {
+			res.JCTs = append(res.JCTs, jct)
+			res.JobCarbon = append(res.JobCarbon, j.CarbonGrams)
+		}
 		sumJCT += jct
 		if j.CompletedAt > res.ECT {
 			res.ECT = j.CompletedAt
@@ -633,8 +691,14 @@ func min(a, b int) int {
 
 // unfinished reports whether any job is incomplete. doneCount is
 // maintained at the single place a job completes (finishStage), replacing
-// the historical per-event scan over all jobs.
-func (c *Cluster) unfinished() bool { return c.doneCount < len(c.jobs) }
+// the historical per-event scan over all jobs. A streaming cluster is
+// unfinished while its source has jobs left or an admitted job runs.
+func (c *Cluster) unfinished() bool {
+	if c.streaming {
+		return !c.srcDone || c.doneCount < c.admitted
+	}
+	return c.doneCount < len(c.jobs)
+}
 
 // updateHoldReady recomputes the job's holdReady bit and keeps the
 // cluster-wide count in sync. It must be called after any mutation of
@@ -665,7 +729,11 @@ func (c *Cluster) arrive(j *JobRun) {
 	c.active = append(c.active, nil)
 	copy(c.active[i+1:], c.active[i:])
 	c.active[i] = j
-	j.runnable = make([]*StageRun, 0, len(j.Stages))
+	if cap(j.runnable) < len(j.Stages) {
+		j.runnable = make([]*StageRun, 0, len(j.Stages))
+	} else {
+		j.runnable = j.runnable[:0] // pooled run: reuse the retired capacity
+	}
 	for _, s := range j.Stages {
 		if s.ParentsLeft == 0 {
 			j.runnable = append(j.runnable, s)
@@ -873,7 +941,7 @@ func (c *Cluster) dispatchReserved() {
 // bind starts a free-pool executor on the stage's next task.
 func (c *Cluster) bind(e *executor, j *JobRun, st *StageRun) {
 	delay := 0.0
-	if e.lastJob != j {
+	if e.lastJob != j.index {
 		delay = c.cfg.MoveDelay
 	}
 	e.busy = true
@@ -925,7 +993,7 @@ func (c *Cluster) completeTask(e *executor) {
 	// Release the executor: back to the job's held pool in standalone
 	// mode (unless the job just finished), otherwise to the free pool.
 	e.busy = false
-	e.lastJob = j
+	e.lastJob = j.index
 	e.job = nil
 	e.stage = nil
 	st.Running--
@@ -1007,7 +1075,7 @@ func (c *Cluster) finishStage(j *JobRun, st *StageRun) {
 		// Release every executor the job was holding (standalone mode).
 		for _, e := range j.held {
 			e.reserved = nil
-			e.lastJob = j
+			e.lastJob = j.index
 			j.Executors--
 			c.activeCount--
 			c.free.push(e.id)
@@ -1022,6 +1090,9 @@ func (c *Cluster) finishStage(j *JobRun, st *StageRun) {
 				c.active = c.active[:len(c.active)-1]
 				break
 			}
+		}
+		if c.streaming {
+			c.doneScratch = append(c.doneScratch, j)
 		}
 	}
 	c.invalidate()

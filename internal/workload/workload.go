@@ -337,78 +337,29 @@ func fromMix(mix Mix, r *rand.Rand, id int) *dag.Job {
 // arrival process and whose shapes come from a workload mix or a
 // heterogeneous class set. Job IDs are 0..N−1 in arrival order.
 //
+// Generate is the materializing wrapper over Source: it drains a fresh
+// source into a slice, so the batch is byte-for-byte what streaming
+// consumers observe job by job.
+//
 // Errors are configuration errors: a finite schedule shorter than N, a
 // schedule class label naming no declared class, or a non-positive
 // class weight.
 func Generate(cfg GenConfig) ([]*dag.Job, error) {
-	proc := cfg.Arrivals
-	if proc == nil {
-		proc = arrivals.Poisson{MeanSec: arrivals.DefaultPoissonMeanSec}
-	}
-	if f, ok := proc.(arrivals.Finite); ok && cfg.N > f.Len() {
-		return nil, fmt.Errorf("workload: batch of %d jobs exceeds the %d-arrival schedule", cfg.N, f.Len())
-	}
-	byName := make(map[string]int, len(cfg.Classes))
-	var totalWeight float64
-	for i, c := range cfg.Classes {
-		if c.Weight <= 0 || math.IsNaN(c.Weight) || math.IsInf(c.Weight, 0) {
-			return nil, fmt.Errorf("workload: class %q weight %v is not positive", c.Name, c.Weight)
-		}
-		if _, dup := byName[c.Name]; dup {
-			return nil, fmt.Errorf("workload: duplicate class name %q", c.Name)
-		}
-		byName[c.Name] = i
-		totalWeight += c.Weight
-	}
-	classed, _ := proc.(arrivals.Classed)
-
-	r := rand.New(rand.NewSource(cfg.Seed))
-	t := 0.0
-	if a, ok := proc.(arrivals.Anchored); ok {
-		t = a.Start()
+	src, err := NewSource(cfg)
+	if err != nil {
+		return nil, err
 	}
 	jobs := make([]*dag.Job, 0, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		var j *dag.Job
-		if len(cfg.Classes) == 0 {
-			j = fromMix(cfg.Mix, r, i)
-		} else {
-			ci := -1
-			if classed != nil {
-				if label := classed.ClassAt(i); label != "" {
-					idx, ok := byName[label]
-					if !ok {
-						return nil, fmt.Errorf("workload: schedule arrival %d names unknown class %q", i, label)
-					}
-					ci = idx
-				}
-			}
-			if ci < 0 {
-				// Weighted class pick; the draw precedes the job's shape
-				// draws so a schedule with partial labels stays replayable.
-				u := r.Float64() * totalWeight
-				for k := range cfg.Classes {
-					u -= cfg.Classes[k].Weight
-					ci = k
-					if u < 0 {
-						break
-					}
-				}
-			}
-			c := cfg.Classes[ci]
-			j = fromMix(c.Mix, r, i)
-			j.Class = c.Name
-			if c.WorkScale > 0 && c.WorkScale != 1 {
-				for _, s := range j.Stages {
-					s.TaskDuration *= c.WorkScale
-				}
-			}
+	for {
+		j, err := src.Next()
+		if err != nil {
+			return nil, err
 		}
-		j.Arrival = t
+		if j == nil {
+			return jobs, nil
+		}
 		jobs = append(jobs, j)
-		t += proc.Gap(i, t, r)
 	}
-	return jobs, nil
 }
 
 // TotalWork sums the batch's work in executor-seconds.
